@@ -1,0 +1,258 @@
+// One testing.B benchmark per paper table/figure (at reduced scale so the
+// full suite stays minutes, not hours — the cmd/mto-bench binary runs the
+// paper-scale versions), plus micro-benchmarks and the ablations called out
+// in DESIGN.md §4.
+package rewire_test
+
+import (
+	"testing"
+
+	"rewire/internal/core"
+	"rewire/internal/diag"
+	"rewire/internal/estimate"
+	"rewire/internal/exp"
+	"rewire/internal/gen"
+	"rewire/internal/graph"
+	"rewire/internal/osn"
+	"rewire/internal/rng"
+	"rewire/internal/spectral"
+)
+
+// --- Paper artifacts -------------------------------------------------------
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.Table1(false, 40, 1)
+		if len(res.Rows) != 3 {
+			b.Fatal("table1 incomplete")
+		}
+	}
+}
+
+func BenchmarkRunningExampleBarbell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunningExample(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.PhiRM <= res.Phi0 {
+			b.Fatal("no conductance gain")
+		}
+	}
+}
+
+func benchFig7(b *testing.B, dataset string) {
+	ds := exp.DatasetByName(dataset, false)
+	if ds == nil {
+		b.Fatal("missing dataset")
+	}
+	cfg := exp.QuickFig7Config()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig7(*ds, cfg, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Epinions(b *testing.B)  { benchFig7(b, "Epinions") }
+func BenchmarkFig7SlashdotA(b *testing.B) { benchFig7(b, "Slashdot A") }
+func BenchmarkFig7SlashdotB(b *testing.B) { benchFig7(b, "Slashdot B") }
+
+func BenchmarkFig8KLDivergence(b *testing.B) {
+	ds := exp.SmallDatasets()[:1]
+	cfg := exp.QuickFig8Config()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig8(ds, cfg, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9GewekeSweep(b *testing.B) {
+	ds := exp.DatasetByName("Slashdot B", false)
+	cfg := exp.QuickFig9Config()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig9(*ds, cfg, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10LatentMixing(b *testing.B) {
+	cfg := exp.QuickFig10Config()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig10(cfg, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11GooglePlus(b *testing.B) {
+	cfg := exp.QuickFig11Config()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig11(false, cfg, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTheorem6Bound(b *testing.B) {
+	cfg := exp.QuickTheorem6Config()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Theorem6(cfg, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.GainBound < 1.04 || res.GainBound > 1.06 {
+			b.Fatalf("gain bound %v", res.GainBound)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ----------------------------------------------
+
+// benchSamplerVariant measures unique-query cost per sample for one MTO
+// configuration on the small Epinions stand-in.
+func benchSamplerVariant(b *testing.B, cfg core.Config) {
+	g := exp.SmallDatasets()[0].Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := osn.NewService(g, nil, osn.Config{})
+		client := osn.NewClient(svc)
+		s := core.NewSampler(client, 0, cfg, rng.New(uint64(i+1)))
+		info := func(v graph.NodeID) (int, estimate.Attrs) { return client.Degree(v), estimate.Attrs{} }
+		res := estimate.RunSession(s, s, estimate.AvgDegree(), info, client.UniqueQueries,
+			estimate.SessionConfig{BurnIn: diag.NewGeweke(0.3, 200), MaxBurnInSteps: 4000, Samples: 2000})
+		b.ReportMetric(float64(res.FinalCost), "queries/run")
+	}
+}
+
+func BenchmarkAblationCriterionOriginal(b *testing.B) {
+	benchSamplerVariant(b, core.DefaultConfig())
+}
+
+func BenchmarkAblationCriterionOverlay(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Criterion = core.EvalOverlay
+	benchSamplerVariant(b, cfg)
+}
+
+func BenchmarkAblationNoExtension(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.UseExtended = false
+	benchSamplerVariant(b, cfg)
+}
+
+func BenchmarkAblationLazyProb1(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.LazyProb = 1.0
+	benchSamplerVariant(b, cfg)
+}
+
+func BenchmarkAblationRemovalOnly(b *testing.B) {
+	benchSamplerVariant(b, core.RemovalOnlyConfig())
+}
+
+func BenchmarkAblationReplacementOnly(b *testing.B) {
+	benchSamplerVariant(b, core.ReplacementOnlyConfig())
+}
+
+func BenchmarkAblationWeightExact(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Weights = core.WeightExact
+	benchSamplerVariant(b, cfg)
+}
+
+func BenchmarkAblationWeightSampled(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Weights = core.WeightSampled
+	benchSamplerVariant(b, cfg)
+}
+
+// --- Micro-benchmarks of the hot paths --------------------------------------
+
+func BenchmarkRemovalCriterion(b *testing.B) {
+	g := exp.SmallDatasets()[0].Graph
+	edges := g.Edges()
+	b.ResetTimer()
+	fired := 0
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		if core.RemovableTheorem3(g.CountCommonNeighbors(e.U, e.V), g.Degree(e.U), g.Degree(e.V)) {
+			fired++
+		}
+	}
+	_ = fired
+}
+
+func BenchmarkMTOStep(b *testing.B) {
+	g := exp.SmallDatasets()[0].Graph
+	s := core.NewSampler(g, 0, core.DefaultConfig(), rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkSRWStepViaClient(b *testing.B) {
+	g := exp.SmallDatasets()[0].Graph
+	svc := osn.NewService(g, nil, osn.Config{})
+	client := osn.NewClient(svc)
+	w, _, err := exp.NewWalker(exp.AlgSRW, client, g.NumNodes(), 0, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Step()
+	}
+}
+
+func BenchmarkBuildOverlayEpinionsSmall(b *testing.B) {
+	g := exp.SmallDatasets()[0].Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.BuildOverlay(g, core.BuildOptions{Removal: true, Replacement: true}, rng.New(uint64(i+1)))
+	}
+}
+
+func BenchmarkSocialGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Social(gen.SocialConfig{Nodes: 2659, TargetEdges: 10012}, rng.New(uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactConductance22(b *testing.B) {
+	g := gen.Barbell(11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := spectral.ExactConductance(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLambda2PowerIteration(b *testing.B) {
+	g := exp.SmallDatasets()[0].Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := spectral.Lambda2(g, 500, 1e-8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGewekeObserve(b *testing.B) {
+	m := diag.NewGeweke(0.1, 100)
+	for i := 0; i < b.N; i++ {
+		m.Observe(float64(i % 17))
+		if i%1000 == 999 {
+			m.Converged()
+		}
+	}
+}

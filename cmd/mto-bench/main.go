@@ -1,0 +1,145 @@
+// Command mto-bench reproduces the paper's tables and figures. Each
+// experiment prints a paper-shaped table; -full selects paper scale
+// (default: quick scale for smoke runs).
+//
+// Usage:
+//
+//	mto-bench -exp all -full
+//	mto-bench -exp fig7 -dataset "Slashdot B" -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rewire/internal/exp"
+)
+
+func main() {
+	var (
+		which   = flag.String("exp", "all", "experiment: table1|running|fig7|fig8|fig9|fig10|fig11|theorem6|all")
+		full    = flag.Bool("full", false, "run at full paper scale (slower)")
+		seed    = flag.Uint64("seed", 1, "master random seed")
+		dataset = flag.String("dataset", "", "restrict fig7 to one dataset (default: all three)")
+	)
+	flag.Parse()
+	if err := run(*which, *full, *seed, *dataset); err != nil {
+		fmt.Fprintln(os.Stderr, "mto-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, full bool, seed uint64, dataset string) error {
+	out := os.Stdout
+	section := func(title string) {
+		fmt.Fprintf(out, "\n=== %s ===\n\n", title)
+	}
+	all := which == "all"
+
+	if all || which == "table1" {
+		section("Table I — datasets")
+		exp.Table1(full, diameterSamples(full), seed).Render(out)
+	}
+	if all || which == "running" {
+		section("Running example — barbell rewiring (§II–III)")
+		res, err := exp.RunningExample(seed)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	}
+	if all || which == "theorem6" {
+		section("Theorem 6 — latent-space removal bound (§IV-B)")
+		cfg := exp.QuickTheorem6Config()
+		if full {
+			cfg = exp.DefaultTheorem6Config()
+		}
+		res, err := exp.Theorem6(cfg, seed)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	}
+	if all || which == "fig7" {
+		cfg := exp.QuickFig7Config()
+		if full {
+			cfg = exp.DefaultFig7Config()
+		}
+		for _, ds := range exp.Datasets(full) {
+			if dataset != "" && ds.Name != dataset {
+				continue
+			}
+			section(fmt.Sprintf("Fig 7 — bias vs query cost (%s)", ds.Name))
+			res, err := exp.Fig7(ds, cfg, seed)
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		}
+	}
+	if all || which == "fig8" {
+		section("Fig 8 — KL divergence and query cost, SRW vs MTO")
+		cfg := exp.QuickFig8Config()
+		if full {
+			cfg = exp.DefaultFig8Config()
+		}
+		res, err := exp.Fig8(exp.Datasets(full), cfg, seed)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	}
+	if all || which == "fig9" {
+		section("Fig 9 — Geweke threshold sweep (Slashdot B)")
+		cfg := exp.QuickFig9Config()
+		if full {
+			cfg = exp.DefaultFig9Config()
+		}
+		ds := exp.DatasetByName("Slashdot B", full)
+		res, err := exp.Fig9(*ds, cfg, seed)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	}
+	if all || which == "fig10" {
+		section("Fig 10 — latent-space mixing times")
+		cfg := exp.QuickFig10Config()
+		if full {
+			cfg = exp.DefaultFig10Config()
+		}
+		res, err := exp.Fig10(cfg, seed)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	}
+	if all || which == "fig11" {
+		section("Fig 11 — Google Plus stand-in")
+		cfg := exp.QuickFig11Config()
+		if full {
+			cfg = exp.DefaultFig11Config()
+		}
+		res, err := exp.Fig11(full, cfg, seed)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	}
+	if !all {
+		switch which {
+		case "table1", "running", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem6":
+		default:
+			return fmt.Errorf("unknown experiment %q", which)
+		}
+	}
+	return nil
+}
+
+func diameterSamples(full bool) int {
+	if full {
+		return 200
+	}
+	return 60
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"rewire/internal/gen"
+	"rewire/internal/rng"
+	"rewire/internal/spectral"
+)
+
+func TestBuildOverlayBarbellRunningExample(t *testing.T) {
+	// Offline construction of the running example's G* and G**.
+	g := gen.Barbell(11)
+	phi0, _, err := spectral.ExactConductance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi0 < 0.017 || phi0 > 0.019 {
+		t.Fatalf("Φ(G) = %v, want ≈0.018", phi0)
+	}
+	gStar, st := BuildOverlay(g, BuildOptions{Removal: true}, rng.New(1))
+	if !gStar.IsConnected() {
+		t.Fatal("G* disconnected")
+	}
+	if st.Removed == 0 {
+		t.Fatal("no removals on the barbell")
+	}
+	phiStar, _, err := spectral.ExactConductance(gStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phiStar <= phi0 {
+		t.Errorf("Φ(G*) = %v not above Φ(G) = %v", phiStar, phi0)
+	}
+	// The paper reports 0.053; the sequential construction is order-
+	// dependent, so accept the shape: at least a 2x conductance gain.
+	if phiStar < 2*phi0 {
+		t.Errorf("Φ(G*) = %v, want >= 2*Φ(G) = %v", phiStar, 2*phi0)
+	}
+
+	gBoth, st2 := BuildOverlay(g, BuildOptions{Removal: true, Replacement: true}, rng.New(1))
+	if !gBoth.IsConnected() {
+		t.Fatal("G** disconnected")
+	}
+	if st2.Replacements == 0 {
+		t.Error("no replacements after aggressive removal (degree-3 pivots should exist)")
+	}
+	phiBoth, _, err := spectral.ExactConductance(gBoth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phiBoth <= phi0 {
+		t.Errorf("Φ(G**) = %v not above Φ(G) = %v", phiBoth, phi0)
+	}
+}
+
+func TestBuildOverlayEvalOverlayConservative(t *testing.T) {
+	g := gen.Barbell(11)
+	cons, stCons := BuildOverlay(g, BuildOptions{Removal: true, Criterion: EvalOverlay}, rng.New(2))
+	aggr, stAggr := BuildOverlay(g, BuildOptions{Removal: true, Criterion: EvalOriginal}, rng.New(2))
+	if stCons.Removed >= stAggr.Removed {
+		t.Errorf("conservative removed %d, aggressive %d: expected conservative < aggressive",
+			stCons.Removed, stAggr.Removed)
+	}
+	if !cons.IsConnected() || !aggr.IsConnected() {
+		t.Error("overlays must stay connected")
+	}
+	// Conservative mode never decreases conductance (each removal is
+	// certified against the current graph).
+	phi0, _, _ := spectral.ExactConductance(g)
+	phiCons, _, err := spectral.ExactConductance(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phiCons < phi0-1e-12 {
+		t.Errorf("conservative overlay conductance %v below original %v", phiCons, phi0)
+	}
+}
+
+func TestBuildOverlayConductanceNeverDecreasesProperty(t *testing.T) {
+	// Conservative (EvalOverlay) removals: the overlay conductance must not
+	// drop below the original *in the paper's stated regime* — graphs whose
+	// optimal cut has few cross-cutting edges relative to the side volumes
+	// (Theorem 3's proof explicitly assumes this; on dense expander-like
+	// graphs, e.g. G(12, 0.4), small decreases genuinely occur and the
+	// assumption is void). Planted partitions are the canonical instance of
+	// the intended regime.
+	r := rng.New(41)
+	for trial := 0; trial < 12; trial++ {
+		g := gen.Connect(gen.PlantedPartition(2, 8, 0.75, 0.04, r), r)
+		if g.NumEdges() < 10 {
+			continue
+		}
+		phi0, _, err := spectral.ExactConductance(g)
+		if err != nil {
+			continue
+		}
+		ov, _ := BuildOverlay(g, BuildOptions{Removal: true, Criterion: EvalOverlay}, r)
+		phi1, _, err := spectral.ExactConductance(ov)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if phi1 < phi0-1e-12 {
+			t.Errorf("trial %d: conductance dropped %v -> %v", trial, phi0, phi1)
+		}
+		if !ov.IsConnected() {
+			t.Errorf("trial %d: overlay disconnected", trial)
+		}
+	}
+}
+
+func TestBuildOverlayDenseRegimeCaveat(t *testing.T) {
+	// Documented limitation (also recorded in EXPERIMENTS.md): outside the
+	// paper's few-cross-cutting-edges assumption the conservative removal
+	// can reduce conductance slightly. Pin the known counterexample so the
+	// behaviour is tracked rather than silently relied upon.
+	r := rng.New(41)
+	var worst float64 = 1
+	for trial := 0; trial < 10; trial++ {
+		g := gen.Connect(gen.GNP(12, 0.4, r), r)
+		phi0, _, err := spectral.ExactConductance(g)
+		if err != nil {
+			continue
+		}
+		ov, _ := BuildOverlay(g, BuildOptions{Removal: true, Criterion: EvalOverlay}, r)
+		phi1, _, err := spectral.ExactConductance(ov)
+		if err != nil {
+			continue
+		}
+		if ratio := phi1 / phi0; ratio < worst {
+			worst = ratio
+		}
+	}
+	// Decreases exist but stay mild (within ~15% on this family).
+	if worst < 0.85 {
+		t.Errorf("dense-regime conductance ratio %v fell below the documented bound", worst)
+	}
+}
+
+func TestBuildOverlayReplacementOnStar(t *testing.T) {
+	// K1,3: hub has degree 3 and no leaf-leaf edges; exactly one
+	// replacement is possible.
+	g := gen.Star(4)
+	ov, st := BuildOverlay(g, BuildOptions{Replacement: true}, rng.New(3))
+	if st.Replacements != 1 {
+		t.Fatalf("replacements = %d, want 1", st.Replacements)
+	}
+	if ov.NumEdges() != 3 {
+		t.Errorf("edges = %d, want 3 (replacement preserves count)", ov.NumEdges())
+	}
+	if !ov.IsConnected() {
+		t.Error("replacement disconnected the star")
+	}
+	// Hub degree dropped to 2; no further pivots of degree 3.
+	if ov.Degree(0) != 2 {
+		t.Errorf("hub degree = %d, want 2", ov.Degree(0))
+	}
+}
+
+func TestBuildOverlayReplacementSkipsK4(t *testing.T) {
+	g := gen.Complete(4)
+	ov, st := BuildOverlay(g, BuildOptions{Replacement: true}, rng.New(4))
+	if st.Replacements != 0 {
+		t.Errorf("replacements on K4 = %d, want 0", st.Replacements)
+	}
+	if ov.NumEdges() != 6 {
+		t.Errorf("K4 modified: %d edges", ov.NumEdges())
+	}
+}
+
+func TestBuildOverlayK2Guard(t *testing.T) {
+	// A lone edge satisfies the raw criterion but must never be removed.
+	g := gen.Path(2)
+	ov, st := BuildOverlay(g, BuildOptions{Removal: true}, rng.New(5))
+	if st.Removed != 0 || ov.NumEdges() != 1 {
+		t.Errorf("K2 was modified: removed=%d edges=%d", st.Removed, ov.NumEdges())
+	}
+}
+
+func TestBuildOverlayExtendedDegrees(t *testing.T) {
+	// Theorem 5 with full knowledge removes at least as much as Theorem 3
+	// on graphs with low-degree common neighbors.
+	g := gen.EpinionsLikeSmall(5)
+	_, st3 := BuildOverlay(g, BuildOptions{Removal: true}, rng.New(6))
+	_, st5 := BuildOverlay(g, BuildOptions{Removal: true, ExtendedDegrees: true}, rng.New(6))
+	if st5.Removed < st3.Removed {
+		t.Errorf("extended removals %d < plain %d", st5.Removed, st3.Removed)
+	}
+}
+
+func TestBuildOverlayDeterministic(t *testing.T) {
+	g := gen.EpinionsLikeSmall(8)
+	a, stA := BuildOverlay(g, BuildOptions{Removal: true, Replacement: true}, rng.New(9))
+	b, stB := BuildOverlay(g, BuildOptions{Removal: true, Replacement: true}, rng.New(9))
+	if stA != stB {
+		t.Fatalf("stats differ: %+v vs %+v", stA, stB)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v differs between builds", e)
+		}
+	}
+}

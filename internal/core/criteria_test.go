@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rewire/internal/graph"
+)
+
+func TestRemovableTheorem3Examples(t *testing.T) {
+	cases := []struct {
+		name           string
+		common, ku, kv int
+		want           bool
+	}{
+		// The paper's Fig 3: u and v share 5 common neighbors, each with one
+		// other edge (ku = kv = 7 counting each other): removable.
+		{"fig3", 5, 7, 7, true},
+		// Barbell clique edge: 9 common, degrees 10/10: removable.
+		{"barbell-clique", 9, 10, 10, true},
+		// Bridge of the barbell: no common neighbors, degrees 11/11.
+		{"barbell-bridge", 0, 11, 11, false},
+		// Tightness (Corollary 1): equality must NOT fire.
+		// common=4 -> lhs = 2*(2+1) = 6; max = 6 -> 6 > 6 false.
+		{"tight-boundary", 4, 6, 6, false},
+		{"just-above", 5, 6, 6, true},
+		// Asymmetric degrees use the max.
+		{"asymmetric", 5, 3, 12, false},
+		{"asymmetric-fires", 9, 3, 11, true},
+		// Triangle edge: common=1, degrees 2/2: 2*(1+1)=4 > 2.
+		{"triangle", 1, 2, 2, true},
+		// Isolated pair (K2): common=0, degrees 1/1: 2*(0+1)=2 > 1 fires —
+		// the samplers must guard this case by degree, not the criterion.
+		{"k2", 0, 1, 1, true},
+	}
+	for _, c := range cases {
+		if got := RemovableTheorem3(c.common, c.ku, c.kv); got != c.want {
+			t.Errorf("%s: RemovableTheorem3(%d,%d,%d) = %v, want %v",
+				c.name, c.common, c.ku, c.kv, got, c.want)
+		}
+	}
+}
+
+func TestRemovableTheorem3Symmetric(t *testing.T) {
+	check := func(common, ku, kv uint8) bool {
+		return RemovableTheorem3(int(common), int(ku), int(kv)) ==
+			RemovableTheorem3(int(common), int(kv), int(ku))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemovableTheorem3MonotoneInCommon(t *testing.T) {
+	// More shared neighbors can only help.
+	check := func(common, ku, kv uint8) bool {
+		c := int(common)
+		if RemovableTheorem3(c, int(ku), int(kv)) {
+			return RemovableTheorem3(c+1, int(ku), int(kv))
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// mapDegreeCache is a test DegreeCache.
+type mapDegreeCache map[graph.NodeID]int
+
+func (m mapDegreeCache) CachedDegree(v graph.NodeID) (int, bool) {
+	d, ok := m[v]
+	return d, ok
+}
+
+func TestRemovableTheorem5ReducesToTheorem3(t *testing.T) {
+	common := []graph.NodeID{4, 5, 6}
+	for _, cache := range []DegreeCache{nil, mapDegreeCache{}} {
+		if RemovableTheorem5(common, 5, 6, cache) != RemovableTheorem3(3, 5, 6) {
+			t.Errorf("empty N* should reduce to Theorem 3 (cache=%v)", cache)
+		}
+	}
+}
+
+func TestRemovableTheorem5ExtensionFires(t *testing.T) {
+	// Two common neighbors, both cached with degree 2. Theorem 3 at
+	// max degree 5: 2*(⌈2/2⌉+1) = 4 > 5 false.
+	// Theorem 5: rest=0 -> 2*(0+1)=2, bonus = (4-2)+(4-2) = 4 -> 6 > 5 true.
+	common := []graph.NodeID{7, 8}
+	cache := mapDegreeCache{7: 2, 8: 2}
+	if RemovableTheorem3(len(common), 5, 5) {
+		t.Fatal("Theorem 3 should not fire in this configuration")
+	}
+	if !RemovableTheorem5(common, 5, 5, cache) {
+		t.Error("Theorem 5 should fire with two degree-2 common neighbors")
+	}
+}
+
+func TestRemovableTheorem5PaperFig5(t *testing.T) {
+	// Fig 5: one common neighbor w with kw = 3 known. With ku = kv = 3:
+	// Theorem 3: 2*(⌈1/2⌉+1) = 4 > 3 fires anyway; make degrees 4 so only
+	// the extension fires: Thm3: 4 > 4 false; Thm5: rest=0 -> 2 + (4-3)=3 > 4
+	// false. Use kw=2: bonus 2 -> 4 > 4 false. Two common neighbors needed
+	// at degree 4: Thm3: 2*(1+1)=4 > 4 false; Thm5 with both kw=3:
+	// 2 + 1 + 1 = 4 > 4 false; kw=2,3: 2+2+1 = 5 > 4 true.
+	common := []graph.NodeID{1, 2}
+	cache := mapDegreeCache{1: 2, 2: 3}
+	if RemovableTheorem3(2, 4, 4) {
+		t.Fatal("Theorem 3 must not fire")
+	}
+	if !RemovableTheorem5(common, 4, 4, cache) {
+		t.Error("Theorem 5 must fire with degree-2 and degree-3 common neighbors")
+	}
+}
+
+func TestRemovableTheorem5IgnoresHighDegreeNeighbors(t *testing.T) {
+	// Cached common neighbors with kw >= 4 contribute nothing (dragging
+	// them is never profitable, §III-D).
+	common := []graph.NodeID{1, 2}
+	cacheHigh := mapDegreeCache{1: 9, 2: 14}
+	if RemovableTheorem5(common, 5, 5, cacheHigh) != RemovableTheorem3(2, 5, 5) {
+		t.Error("high-degree cached neighbors must not change the verdict")
+	}
+	// Degree-1 neighbors are outside N* too (kw must be in [2,3]).
+	cacheLow := mapDegreeCache{1: 1, 2: 1}
+	if RemovableTheorem5(common, 5, 5, cacheLow) != RemovableTheorem3(2, 5, 5) {
+		t.Error("degree-1 cached neighbors must not change the verdict")
+	}
+}
+
+func TestRemovableCombinedContainsTheorem3(t *testing.T) {
+	// The combined Removable must fire whenever Theorem 3 alone does,
+	// regardless of what the degree cache contains (the ⌈·/2⌉ parity means
+	// the raw Theorem 5 formula alone does NOT have this containment —
+	// that is exactly why Removable is the OR of the two).
+	check := func(nCommon, ku, kv uint8, degrees []uint8) bool {
+		c := int(nCommon % 12)
+		common := make([]graph.NodeID, c)
+		cache := mapDegreeCache{}
+		for i := range common {
+			common[i] = graph.NodeID(i)
+			if i < len(degrees) {
+				cache[graph.NodeID(i)] = int(degrees[i]%5) + 1 // degrees 1..5
+			}
+		}
+		if RemovableTheorem3(c, int(ku%20), int(kv%20)) {
+			return Removable(common, int(ku%20), int(kv%20), cache) &&
+				Removable(common, int(ku%20), int(kv%20), nil)
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemovableParityCounterexample(t *testing.T) {
+	// The documented counterexample: 3 common neighbors, one cached at
+	// degree 3, max degree 5. Theorem 3 fires; the raw Theorem 5 formula
+	// does not; the combined Removable must.
+	common := []graph.NodeID{1, 2, 3}
+	cache := mapDegreeCache{1: 3}
+	if !RemovableTheorem3(3, 5, 5) {
+		t.Fatal("Theorem 3 should fire")
+	}
+	if RemovableTheorem5(common, 5, 5, cache) {
+		t.Fatal("raw Theorem 5 formula should not fire here (parity loss)")
+	}
+	if !Removable(common, 5, 5, cache) {
+		t.Error("combined Removable must fire")
+	}
+}
+
+func TestReplaceablePivot(t *testing.T) {
+	for d, want := range map[int]bool{1: false, 2: false, 3: true, 4: false, 10: false} {
+		if got := ReplaceablePivot(d); got != want {
+			t.Errorf("ReplaceablePivot(%d) = %v, want %v (Corollary 2: only 3)", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"rewire/internal/gen"
+	"rewire/internal/graph"
+	"rewire/internal/rng"
+	"rewire/internal/spectral"
+)
+
+func TestDegreeFloorLimitsDraining(t *testing.T) {
+	// Without the floor, iterated removal+replacement drains the barbell
+	// toward a (bipartite) near-tree; with the default 0.3 floor every node
+	// keeps >= ceil(0.3 * original degree) overlay neighbors.
+	g := gen.Barbell(11)
+	cfg := DefaultConfig()
+	s := NewSampler(g, 0, cfg, rng.New(3))
+	for i := 0; i < 100000; i++ {
+		s.Step()
+	}
+	ov := s.Overlay().Materialize(g.NumNodes())
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		floor := int(cfg.DegreeFloor*float64(g.Degree(v)) + 0.999999)
+		if floor < 2 {
+			floor = 2
+		}
+		// Replacement can shift one more edge away from a node after
+		// removal stopped, so allow slack of one below the removal floor.
+		if ov.Degree(v) < floor-1 {
+			t.Errorf("node %d: overlay degree %d below floor %d", v, ov.Degree(v), floor)
+		}
+	}
+	// The drained-tree pathology specifically: the overlay must keep
+	// substantially more than a spanning tree and still mix.
+	if ov.NumEdges() < g.NumNodes()+5 {
+		t.Errorf("overlay has only %d edges — drained to a near-tree", ov.NumEdges())
+	}
+	mt, err := spectral.GraphMixingTime(ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := spectral.GraphMixingTime(g)
+	if mt >= orig {
+		t.Errorf("overlay mixing %v not below original %v", mt, orig)
+	}
+}
+
+func TestNoFloorDrainsBarbell(t *testing.T) {
+	// Pin the documented pathology: DegreeFloor = 0 (Algorithm 1 verbatim)
+	// eventually thins the barbell far below the floored overlay.
+	cfgNoFloor := DefaultConfig()
+	cfgNoFloor.DegreeFloor = 0
+	g := gen.Barbell(11)
+	s := NewSampler(g, 0, cfgNoFloor, rng.New(3))
+	for i := 0; i < 100000; i++ {
+		s.Step()
+	}
+	ov := s.Overlay().Materialize(g.NumNodes())
+	if ov.NumEdges() > 30 {
+		t.Errorf("unfloored overlay kept %d edges; expected heavy draining (<= 30)", ov.NumEdges())
+	}
+	if !ov.IsConnected() {
+		t.Error("even unfloored rewiring must preserve connectivity")
+	}
+}
+
+func TestPivotOnceBoundsReplacements(t *testing.T) {
+	g := gen.EpinionsLikeSmall(5)
+	run := func(pivotOnce bool, steps int) int64 {
+		cfg := DefaultConfig()
+		cfg.PivotOnce = pivotOnce
+		s := NewSampler(g, 0, cfg, rng.New(7))
+		for i := 0; i < steps; i++ {
+			s.Step()
+		}
+		return s.Stats().Replacements
+	}
+	bounded := run(true, 300000)
+	unbounded := run(false, 300000)
+	if bounded > int64(g.NumNodes()) {
+		t.Errorf("PivotOnce replacements %d exceed node count %d", bounded, g.NumNodes())
+	}
+	if unbounded <= bounded {
+		t.Errorf("unbounded replacements %d should exceed bounded %d on long runs", unbounded, bounded)
+	}
+}
+
+func TestReplacementChurnStopsWithPivotOnce(t *testing.T) {
+	// After a long run, the rewiring rate must approach zero so the chain
+	// becomes stationary (this is what lets Geweke fire for MTO).
+	g := gen.EpinionsLikeSmall(9)
+	s := NewSampler(g, 0, DefaultConfig(), rng.New(11))
+	for i := 0; i < 400000; i++ {
+		s.Step()
+	}
+	before := s.Stats()
+	for i := 0; i < 50000; i++ {
+		s.Step()
+	}
+	after := s.Stats()
+	mutations := (after.Removals - before.Removals) + (after.Replacements - before.Replacements)
+	// Allow stragglers but not sustained churn (~1 per 1000 steps max).
+	if mutations > 50 {
+		t.Errorf("late-run mutations = %d in 50k steps; topology is not settling", mutations)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"sort"
+
+	"rewire/internal/graph"
+	"rewire/internal/walk"
+)
+
+// Overlay is the virtual rewired topology: the base graph (seen through a
+// walk.Source, typically the caching OSN client) plus an edge-delta set of
+// removals and additions. It implements walk.Source itself, so any walker
+// can run "on the overlay" — which is exactly the paper's trick: the random
+// walk follows the modified topology while only the original network exists.
+//
+// The overlay never mutates the base; it is the third party's bookkeeping.
+type Overlay struct {
+	base    walk.Source
+	removed map[graph.EdgeKey]struct{}
+	added   map[graph.EdgeKey]struct{}
+	// addedAdj lists added-edge partners per node for list materialization.
+	addedAdj map[graph.NodeID][]graph.NodeID
+	// lists caches materialized overlay neighbor lists, invalidated on
+	// mutation of either endpoint.
+	lists map[graph.NodeID][]graph.NodeID
+}
+
+// NewOverlay wraps base with an empty delta.
+func NewOverlay(base walk.Source) *Overlay {
+	return &Overlay{
+		base:     base,
+		removed:  make(map[graph.EdgeKey]struct{}),
+		added:    make(map[graph.EdgeKey]struct{}),
+		addedAdj: make(map[graph.NodeID][]graph.NodeID),
+		lists:    make(map[graph.NodeID][]graph.NodeID),
+	}
+}
+
+// Base returns the wrapped source.
+func (o *Overlay) Base() walk.Source { return o.base }
+
+// Neighbors returns v's overlay neighbor list (sorted; owned by the overlay,
+// do not modify). Reading it may cost a query on the underlying client for
+// v's base list — the same query any walk positioned at v must pay anyway.
+func (o *Overlay) Neighbors(v graph.NodeID) []graph.NodeID {
+	if lst, ok := o.lists[v]; ok {
+		return lst
+	}
+	base := o.base.Neighbors(v)
+	lst := make([]graph.NodeID, 0, len(base)+len(o.addedAdj[v]))
+	for _, w := range base {
+		if _, gone := o.removed[graph.KeyOf(v, w)]; !gone {
+			lst = append(lst, w)
+		}
+	}
+	if extra := o.addedAdj[v]; len(extra) > 0 {
+		lst = append(lst, extra...)
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+	}
+	o.lists[v] = lst
+	return lst
+}
+
+// Degree returns v's overlay degree.
+func (o *Overlay) Degree(v graph.NodeID) int { return len(o.Neighbors(v)) }
+
+// HasEdge reports whether (u, v) exists in the overlay. It consults the
+// delta sets first and falls back to u's materialized list.
+func (o *Overlay) HasEdge(u, v graph.NodeID) bool {
+	k := graph.KeyOf(u, v)
+	if _, ok := o.removed[k]; ok {
+		return false
+	}
+	if _, ok := o.added[k]; ok {
+		return true
+	}
+	return graph.ContainsSorted(o.Neighbors(u), v)
+}
+
+// RemoveEdge deletes (u, v) from the overlay. Removing an edge that is not
+// present is a no-op. Removing an added edge cancels the addition.
+func (o *Overlay) RemoveEdge(u, v graph.NodeID) {
+	k := graph.KeyOf(u, v)
+	if _, ok := o.added[k]; ok {
+		delete(o.added, k)
+		o.addedAdj[u] = without(o.addedAdj[u], v)
+		o.addedAdj[v] = without(o.addedAdj[v], u)
+	} else {
+		o.removed[k] = struct{}{}
+	}
+	delete(o.lists, u)
+	delete(o.lists, v)
+}
+
+// AddEdge inserts (u, v) into the overlay: any removal mark is cleared, and
+// the edge is recorded as an addition only when the base graph does not
+// already carry it (so re-adding a base edge or restoring a removed one
+// leaves the delta sets clean). Self-loops are ignored.
+func (o *Overlay) AddEdge(u, v graph.NodeID) {
+	if u == v {
+		return
+	}
+	k := graph.KeyOf(u, v)
+	delete(o.removed, k)
+	delete(o.lists, u)
+	delete(o.lists, v)
+	if graph.ContainsSorted(o.base.Neighbors(u), v) {
+		return // present in the base; clearing the removal mark restored it
+	}
+	if _, already := o.added[k]; !already {
+		o.added[k] = struct{}{}
+		o.addedAdj[u] = append(o.addedAdj[u], v)
+		o.addedAdj[v] = append(o.addedAdj[v], u)
+	}
+}
+
+// ReplaceEdge performs the Theorem 4 operation: remove (u, p), add (u, w).
+func (o *Overlay) ReplaceEdge(u, p, w graph.NodeID) {
+	o.RemoveEdge(u, p)
+	o.AddEdge(u, w)
+}
+
+// RemovedCount returns the number of net edge removals.
+func (o *Overlay) RemovedCount() int { return len(o.removed) }
+
+// AddedCount returns the number of net edge additions.
+func (o *Overlay) AddedCount() int { return len(o.added) }
+
+// Removed reports whether (u,v) was explicitly removed.
+func (o *Overlay) Removed(u, v graph.NodeID) bool {
+	_, ok := o.removed[graph.KeyOf(u, v)]
+	return ok
+}
+
+// IsAdded reports whether (u,v) is an overlay addition (not a base edge).
+func (o *Overlay) IsAdded(u, v graph.NodeID) bool {
+	_, ok := o.added[graph.KeyOf(u, v)]
+	return ok
+}
+
+// RemovedEdges returns the keys of all removed edges (order unspecified).
+// Useful for reconstructing overlay degrees against a local copy of the
+// base graph without touching the query budget.
+func (o *Overlay) RemovedEdges() []graph.EdgeKey {
+	out := make([]graph.EdgeKey, 0, len(o.removed))
+	for k := range o.removed {
+		out = append(out, k)
+	}
+	return out
+}
+
+// AddedEdges returns the keys of all added edges (order unspecified).
+func (o *Overlay) AddedEdges() []graph.EdgeKey {
+	out := make([]graph.EdgeKey, 0, len(o.added))
+	for k := range o.added {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Materialize builds the full overlay as a concrete graph over n nodes.
+// It reads every node's base neighborhood, so call it only when the base is
+// a local graph (or a client whose budget you are willing to spend) — the
+// paper does exactly this in §V-A.3 to compute overlay mixing times after
+// running the walk to full coverage.
+func (o *Overlay) Materialize(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := graph.NodeID(0); int(u) < n; u++ {
+		for _, v := range o.base.Neighbors(u) {
+			if u < v {
+				if _, gone := o.removed[graph.KeyOf(u, v)]; !gone {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+	}
+	for k := range o.added {
+		u, v := k.Nodes()
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+func without(lst []graph.NodeID, x graph.NodeID) []graph.NodeID {
+	for i, v := range lst {
+		if v == x {
+			return append(lst[:i], lst[i+1:]...)
+		}
+	}
+	return lst
+}
+
+// CommonOverlayNeighbors intersects the overlay neighbor lists of u and v.
+func (o *Overlay) CommonOverlayNeighbors(u, v graph.NodeID) []graph.NodeID {
+	return graph.IntersectSorted(o.Neighbors(u), o.Neighbors(v))
+}

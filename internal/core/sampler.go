@@ -1,0 +1,422 @@
+package core
+
+import (
+	"rewire/internal/graph"
+	"rewire/internal/rng"
+	"rewire/internal/walk"
+)
+
+// WeightMode selects how StationaryWeight obtains the overlay degree k*(v)
+// that unbiases MTO samples (paper §IV-A: τ*(u) = k*_u / 2|E*|).
+type WeightMode int
+
+const (
+	// WeightOverlayDegree uses the current overlay degree — free, and exact
+	// once the walk has classified the edges around v.
+	WeightOverlayDegree WeightMode = iota
+	// WeightExact classifies every incident edge of v on demand (queries
+	// all neighbors) before reporting the degree.
+	WeightExact
+	// WeightSampled estimates k*(v) from a random sample of v's incident
+	// edges — the paper's "draw simple random sample from u's neighbors in
+	// G*" suggestion. Sample size is Config.DegreeSample.
+	WeightSampled
+)
+
+// CriterionBase selects which neighborhoods the removal criterion is
+// evaluated against. The paper's Theorems 3/5 are stated as static
+// properties of the original graph G, and Algorithm 1 tests edges with the
+// neighborhoods the queries return — i.e., original lists (EvalOriginal).
+// Evaluated inductively against the evolving overlay instead (EvalOverlay),
+// each removal is individually conductance-safe on the current graph, but
+// the process reaches a much denser fixpoint (on the barbell running
+// example: Φ* ≈ 0.022 versus ≈ 0.05–0.07 for EvalOriginal, the paper
+// reporting 0.053). EXPERIMENTS.md quantifies both; EvalOriginal is the
+// default because it reproduces the paper's magnitudes.
+type CriterionBase int
+
+const (
+	// EvalOriginal tests the criterion on original (queried) neighborhoods.
+	// Removals are guarded: both endpoints keep overlay degree >= 2 and at
+	// least one common overlay neighbor, so the overlay stays connected.
+	EvalOriginal CriterionBase = iota
+	// EvalOverlay tests the criterion on current overlay neighborhoods.
+	EvalOverlay
+)
+
+// Config tunes the MTO-Sampler. The zero value is NOT valid; use
+// DefaultConfig and adjust.
+type Config struct {
+	// EnableRemoval switches Theorem 3/5 edge removal.
+	EnableRemoval bool
+	// EnableReplacement switches Theorem 4 degree-3 replacement.
+	EnableReplacement bool
+	// UseExtended applies Theorem 5 using free cached degree knowledge when
+	// the source exposes it (osn.Client does); otherwise the test silently
+	// degenerates to Theorem 3.
+	UseExtended bool
+	// Criterion selects the evaluation base for the removal test.
+	Criterion CriterionBase
+	// LazyProb is Algorithm 1's "rand(0,1) < 1/2" move probability per
+	// inner iteration; the complement re-picks a neighbor (possibly after
+	// more topology edits).
+	LazyProb float64
+	// ReplaceProb is the probability of performing the replacement when a
+	// degree-3 pivot is encountered (Algorithm 1's "choose to replace").
+	ReplaceProb float64
+	// PivotOnce limits each pivot node to a single Theorem 4 replacement
+	// (default true). Heavy-tailed social graphs are full of degree-3
+	// users; without the bound the walk rewires forever, its stationary
+	// distribution never settles, and the Geweke indicator (rightly)
+	// refuses to fire. One replacement per pivot keeps total rewiring
+	// O(|V|) so the chain is asymptotically stationary.
+	PivotOnce bool
+	// MaxInner caps inner re-pick iterations per Step as a safety valve.
+	MaxInner int
+	// DegreeFloor keeps every node's overlay degree at or above
+	// ⌈DegreeFloor · original degree⌉ (at least 2): iterated removal would
+	// otherwise drain dense pockets into bipartite trees whose SRW never
+	// mixes. 0.3 keeps the barbell overlay at the paper's reported G*
+	// density; 0 disables the floor (Algorithm 1 verbatim, which only
+	// guards |N(u)| >= 1).
+	DegreeFloor float64
+	// Weights selects the importance-weight computation.
+	Weights WeightMode
+	// DegreeSample is the incident-edge sample size for WeightSampled.
+	DegreeSample int
+}
+
+// DefaultConfig returns the paper's configuration: both operations on,
+// extension on, lazy and replacement probabilities 1/2.
+func DefaultConfig() Config {
+	return Config{
+		EnableRemoval:     true,
+		EnableReplacement: true,
+		UseExtended:       true,
+		LazyProb:          0.5,
+		ReplaceProb:       0.5,
+		PivotOnce:         true,
+		MaxInner:          64,
+		Weights:           WeightOverlayDegree,
+		DegreeSample:      5,
+		DegreeFloor:       0.3,
+	}
+}
+
+// RemovalOnlyConfig disables replacement (the paper's MTO_RM ablation).
+func RemovalOnlyConfig() Config {
+	c := DefaultConfig()
+	c.EnableReplacement = false
+	return c
+}
+
+// ReplacementOnlyConfig disables removal (the paper's MTO_RP ablation).
+func ReplacementOnlyConfig() Config {
+	c := DefaultConfig()
+	c.EnableRemoval = false
+	return c
+}
+
+// Stats counts the rewiring work a sampler has performed.
+type Stats struct {
+	Steps        int64 // completed Step calls
+	Examined     int64 // edges examined against the removal criterion
+	Removals     int64 // overlay edge removals
+	Replacements int64 // overlay edge replacements
+}
+
+// Sampler is the MTO-Sampler of Algorithm 1: a simple random walk over the
+// overlay that removes provably non-cross-cutting edges and performs
+// conductance-safe replacements as it goes. It implements walk.Walker and
+// walk.Weighter, so it plugs into the same estimation pipeline as the
+// baselines.
+type Sampler struct {
+	cfg   Config
+	ov    *Overlay
+	cache DegreeCache // nil unless the source can answer degree questions for free
+	cur   graph.NodeID
+	rng   *rng.Rand
+	stats Stats
+	// usedPivots records nodes that already hosted a replacement (PivotOnce).
+	usedPivots map[graph.NodeID]struct{}
+	// verdicts caches negative Theorem 3 outcomes under EvalOriginal, where
+	// the criterion is static (positive outcomes remove the edge, so they
+	// never need caching). Unused when Theorem 5 can apply: its verdict
+	// improves as the degree cache grows.
+	verdicts map[graph.EdgeKey]struct{}
+}
+
+// neighborCache is the optional source capability the Theorem 5 path needs:
+// telling whether v is already in the local store. osn.Client provides it.
+type neighborCache interface {
+	Cached(v graph.NodeID) bool
+}
+
+// NewSampler starts an MTO walk at start over src.
+func NewSampler(src walk.Source, start graph.NodeID, cfg Config, r *rng.Rand) *Sampler {
+	if cfg.MaxInner <= 0 {
+		cfg.MaxInner = 64
+	}
+	s := &Sampler{cfg: cfg, ov: NewOverlay(src), cur: start, rng: r}
+	if cfg.PivotOnce {
+		s.usedPivots = make(map[graph.NodeID]struct{})
+	}
+	if cfg.UseExtended {
+		switch cfg.Criterion {
+		case EvalOverlay:
+			if _, ok := src.(neighborCache); ok {
+				s.cache = overlayDegreeCache{s.ov}
+			}
+		default:
+			// Original-graph evaluation wants original cached degrees; the
+			// OSN client provides them directly.
+			if dc, ok := src.(DegreeCache); ok {
+				s.cache = dc
+			}
+		}
+	}
+	if cfg.Criterion == EvalOriginal && s.cache == nil {
+		s.verdicts = make(map[graph.EdgeKey]struct{})
+	}
+	return s
+}
+
+// overlayDegreeCache answers Theorem 5's degree questions with *overlay*
+// degrees, and only for nodes whose base neighborhood is already cached (so
+// no query is ever spent). This is strictly more faithful than raw base
+// degrees: the theorem's proof argues about the current graph.
+type overlayDegreeCache struct{ ov *Overlay }
+
+func (c overlayDegreeCache) CachedDegree(v graph.NodeID) (int, bool) {
+	if lst, ok := c.ov.lists[v]; ok {
+		return len(lst), true
+	}
+	if nc, ok := c.ov.base.(neighborCache); ok && nc.Cached(v) {
+		return len(c.ov.Neighbors(v)), true // materializes from cache, no query
+	}
+	return 0, false
+}
+
+// Current returns the walk position.
+func (s *Sampler) Current() graph.NodeID { return s.cur }
+
+// Overlay exposes the evolving rewired topology.
+func (s *Sampler) Overlay() *Overlay { return s.ov }
+
+// Stats returns rewiring counters.
+func (s *Sampler) Stats() Stats { return s.stats }
+
+// Step runs one outer iteration of Algorithm 1: repeatedly pick a uniform
+// overlay neighbor v of the current node; remove the edge if Theorem 3/5
+// fires (and re-pick); optionally replace it around a degree-3 pivot
+// (Theorem 4), redirecting the candidate; then move with probability
+// LazyProb, else re-pick. A MaxInner safety valve forces a plain SRW move if
+// the loop spins too long (e.g. ReplaceProb pathologies).
+func (s *Sampler) Step() graph.NodeID {
+	defer func() { s.stats.Steps++ }()
+	for iter := 0; iter < s.cfg.MaxInner; iter++ {
+		nbrs := s.ov.Neighbors(s.cur)
+		if len(nbrs) == 0 {
+			return s.cur // isolated: absorbing, same as SRW
+		}
+		v := rng.Choice(s.rng, nbrs)
+		vn := s.ov.Neighbors(v) // the individual-user query for v
+		s.stats.Examined++
+		if s.cfg.EnableRemoval && s.removableEdge(s.cur, v, nbrs, vn) {
+			// Theorem 3/5: (cur, v) is provably non-cross-cutting; the
+			// guards inside removableEdge keep the walk from stranding
+			// either endpoint (Algorithm 1's |N(u)| >= 1 invariant) and
+			// preserve overlay connectivity.
+			s.ov.RemoveEdge(s.cur, v)
+			s.stats.Removals++
+			continue
+		}
+		cand := v
+		if s.cfg.EnableReplacement && ReplaceablePivot(len(vn)) && s.pivotAvailable(v) &&
+			s.rng.Bernoulli(s.cfg.ReplaceProb) {
+			if w, ok := s.pickReplacement(nbrs, v, vn); ok {
+				s.ov.ReplaceEdge(s.cur, v, w)
+				s.stats.Replacements++
+				if s.usedPivots != nil {
+					s.usedPivots[v] = struct{}{}
+				}
+				cand = w // Algorithm 1's "v ← v′"
+			}
+		}
+		if s.rng.Bernoulli(s.cfg.LazyProb) {
+			s.cur = cand
+			return s.cur
+		}
+	}
+	if nbrs := s.ov.Neighbors(s.cur); len(nbrs) > 0 {
+		s.cur = rng.Choice(s.rng, nbrs)
+	}
+	return s.cur
+}
+
+// removableEdge applies the removal criterion to the edge (u, v), where
+// uOv and vOv are the endpoints' current overlay neighbor lists. Guards
+// (both overlay degrees >= 2; under EvalOriginal additionally >= 1 common
+// overlay neighbor) ensure a removal never strands a node or disconnects
+// the overlay.
+func (s *Sampler) removableEdge(u, v graph.NodeID, uOv, vOv []graph.NodeID) bool {
+	if len(uOv) <= 1 || len(vOv) <= 1 {
+		return false
+	}
+	// Theorems 3/5 certify edges of the *original* graph. Overlay additions
+	// came from Theorem 4 replacements precisely because they are likely
+	// cross-cutting; removing them again would silently undo the rewiring
+	// (and, iterated with replacement, grind the overlay down to a tree).
+	if s.ov.IsAdded(u, v) {
+		return false
+	}
+	if s.cfg.DegreeFloor > 0 {
+		if len(uOv) <= s.floorOf(u) || len(vOv) <= s.floorOf(v) {
+			return false
+		}
+	}
+	if s.cfg.Criterion == EvalOverlay {
+		common := graph.IntersectSorted(uOv, vOv)
+		return Removable(common, len(uOv), len(vOv), s.cache)
+	}
+	// EvalOriginal: static criterion on the neighborhoods the queries
+	// returned; connectivity guard on the overlay.
+	if graph.CountIntersectSorted(uOv, vOv) < 1 {
+		return false
+	}
+	k := graph.KeyOf(u, v)
+	if s.verdicts != nil {
+		if _, known := s.verdicts[k]; known {
+			return false // cached negative
+		}
+	}
+	ub := s.ov.base.Neighbors(u) // cached: the walk already paid for both
+	vb := s.ov.base.Neighbors(v)
+	fires := Removable(graph.IntersectSorted(ub, vb), len(ub), len(vb), s.cache)
+	if !fires && s.verdicts != nil {
+		s.verdicts[k] = struct{}{}
+	}
+	return fires
+}
+
+// pivotAvailable reports whether v may still host a replacement.
+func (s *Sampler) pivotAvailable(v graph.NodeID) bool {
+	if s.usedPivots == nil {
+		return true
+	}
+	_, used := s.usedPivots[v]
+	return !used
+}
+
+// floorOf returns the minimum overlay degree node u must keep:
+// max(2, ⌈DegreeFloor · base degree⌉). Base neighborhoods are cached for
+// every node the walk touches, so this never issues a query.
+func (s *Sampler) floorOf(u graph.NodeID) int {
+	f := int(s.cfg.DegreeFloor*float64(len(s.ov.base.Neighbors(u))) + 0.999999)
+	if f < 2 {
+		f = 2
+	}
+	return f
+}
+
+// pickReplacement chooses w for the Theorem 4 replacement of (cur, v)
+// around pivot v: w is a uniformly chosen other neighbor of v such that
+// (cur, w) does not already exist (a no-op "replacement" would just delete
+// (cur, v), which Theorem 4 does not license).
+func (s *Sampler) pickReplacement(curNbrs []graph.NodeID, v graph.NodeID, vNbrs []graph.NodeID) (graph.NodeID, bool) {
+	options := make([]graph.NodeID, 0, 2)
+	for _, w := range vNbrs {
+		if w != s.cur && !graph.ContainsSorted(curNbrs, w) {
+			options = append(options, w)
+		}
+	}
+	if len(options) == 0 {
+		return 0, false
+	}
+	return rng.Choice(s.rng, options), true
+}
+
+// StationaryWeight returns k*(v) per the configured WeightMode — the
+// importance weight denominator for unbiasing MTO samples.
+func (s *Sampler) StationaryWeight(v graph.NodeID) float64 {
+	switch s.cfg.Weights {
+	case WeightExact:
+		return float64(s.classifyIncident(v, -1))
+	case WeightSampled:
+		return float64(s.classifyIncident(v, s.cfg.DegreeSample))
+	default:
+		return float64(s.ov.Degree(v))
+	}
+}
+
+// classifyIncident tests (a sample of) v's incident overlay edges against
+// the removal criterion, removes the ones that fire, and returns the
+// resulting degree estimate. sample < 0 classifies all incident edges
+// (exact); otherwise `sample` random neighbors are tested and the removable
+// fraction is extrapolated.
+func (s *Sampler) classifyIncident(v graph.NodeID, sample int) int {
+	nbrs := s.ov.Neighbors(v)
+	deg := len(nbrs)
+	if deg <= 1 || !s.cfg.EnableRemoval {
+		return deg
+	}
+	idx := make([]int, deg)
+	for i := range idx {
+		idx[i] = i
+	}
+	tested := deg
+	if sample >= 0 && sample < deg {
+		s.rng.Shuffle(deg, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		tested = sample
+		if tested == 0 {
+			return deg
+		}
+	}
+	var toRemove []graph.NodeID
+	for _, i := range idx[:tested] {
+		w := nbrs[i]
+		wn := s.ov.Neighbors(w)
+		s.stats.Examined++
+		if deg-len(toRemove) > 1 && s.removableEdge(v, w, nbrs, wn) {
+			toRemove = append(toRemove, w)
+		}
+	}
+	for _, w := range toRemove {
+		s.ov.RemoveEdge(v, w)
+		s.stats.Removals++
+	}
+	if tested == deg {
+		return deg - len(toRemove)
+	}
+	frac := float64(len(toRemove)) / float64(tested)
+	est := int(float64(deg)*(1-frac) + 0.5)
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// WalkToCoverage advances the sampler until every node of an n-node graph
+// has been visited at least once (the paper's §V-A.3 procedure for
+// extracting the full overlay topology) or maxSteps elapse. It returns the
+// number of distinct nodes visited and whether full coverage was reached.
+func WalkToCoverage(s *Sampler, n, maxSteps int) (visited int, ok bool) {
+	seen := make([]bool, n)
+	seen[s.Current()] = true
+	visited = 1
+	for step := 0; step < maxSteps && visited < n; step++ {
+		v := s.Step()
+		if !seen[v] {
+			seen[v] = true
+			visited++
+		}
+	}
+	return visited, visited == n
+}
+
+// Interface conformance checks.
+var (
+	_ walk.Walker   = (*Sampler)(nil)
+	_ walk.Weighter = (*Sampler)(nil)
+	_ walk.Source   = (*Overlay)(nil)
+)

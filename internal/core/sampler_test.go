@@ -1,0 +1,275 @@
+package core
+
+import (
+	"testing"
+
+	"rewire/internal/gen"
+	"rewire/internal/graph"
+	"rewire/internal/osn"
+	"rewire/internal/rng"
+	"rewire/internal/spectral"
+	"rewire/internal/stats"
+	"rewire/internal/walk"
+)
+
+func TestSamplerImprovesBarbellConductance(t *testing.T) {
+	// The running example (§II–III): rewiring must raise the barbell's
+	// conductance. Paper: 0.018 -> 0.053 (removal) -> 0.105 (both).
+	g := gen.Barbell(11)
+	phi0, _, err := spectral.ExactConductance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improvedRM, improvedBoth := 0, 0
+	const trials = 5
+	for seed := uint64(1); seed <= trials; seed++ {
+		s := NewSampler(g, 0, RemovalOnlyConfig(), rng.New(seed))
+		if _, ok := WalkToCoverage(s, g.NumNodes(), 100000); !ok {
+			t.Fatalf("seed %d: no coverage", seed)
+		}
+		ovRM := s.Overlay().Materialize(g.NumNodes())
+		if !ovRM.IsConnected() {
+			t.Fatalf("seed %d: removal disconnected the overlay", seed)
+		}
+		phiRM, _, err := spectral.ExactConductance(ovRM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if phiRM > phi0 {
+			improvedRM++
+		}
+
+		s2 := NewSampler(g, 0, DefaultConfig(), rng.New(seed))
+		if _, ok := WalkToCoverage(s2, g.NumNodes(), 100000); !ok {
+			t.Fatalf("seed %d: no coverage (both)", seed)
+		}
+		ovBoth := s2.Overlay().Materialize(g.NumNodes())
+		if !ovBoth.IsConnected() {
+			t.Fatalf("seed %d: rewiring disconnected the overlay", seed)
+		}
+		phiBoth, _, err := spectral.ExactConductance(ovBoth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if phiBoth > phi0 {
+			improvedBoth++
+		}
+	}
+	if improvedRM != trials {
+		t.Errorf("removal improved conductance in %d/%d trials", improvedRM, trials)
+	}
+	if improvedBoth != trials {
+		t.Errorf("full MTO improved conductance in %d/%d trials", improvedBoth, trials)
+	}
+}
+
+func TestSamplerRemovesAggressivelyUnderEvalOriginal(t *testing.T) {
+	g := gen.Barbell(11)
+	run := func(cb CriterionBase) int64 {
+		cfg := RemovalOnlyConfig()
+		cfg.Criterion = cb
+		s := NewSampler(g, 0, cfg, rng.New(3))
+		WalkToCoverage(s, g.NumNodes(), 100000)
+		return s.Stats().Removals
+	}
+	orig := run(EvalOriginal)
+	ovl := run(EvalOverlay)
+	if orig <= ovl {
+		t.Errorf("EvalOriginal removals %d should exceed EvalOverlay %d", orig, ovl)
+	}
+	// On the barbell the aggressive mode thins each clique hard.
+	if orig < 50 {
+		t.Errorf("EvalOriginal removed only %d edges", orig)
+	}
+}
+
+func TestSamplerNeverStrandsNodes(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		g := gen.EpinionsLikeSmall(seed)
+		s := NewSampler(g, 0, DefaultConfig(), rng.New(seed))
+		for i := 0; i < 20000; i++ {
+			s.Step()
+		}
+		ov := s.Overlay().Materialize(g.NumNodes())
+		if ov.MinDegree() < 1 {
+			t.Fatalf("seed %d: rewiring stranded a node", seed)
+		}
+		if !ov.IsConnected() {
+			t.Fatalf("seed %d: rewiring disconnected the graph", seed)
+		}
+	}
+}
+
+func TestSamplerStationaryMatchesOverlayDegrees(t *testing.T) {
+	// After the topology stabilizes, the MTO walk is an SRW on the overlay,
+	// so visits should be proportional to overlay degree.
+	g := gen.Barbell(8)
+	cfg := RemovalOnlyConfig() // replacements keep mutating forever; focus on RM
+	s := NewSampler(g, 0, cfg, rng.New(5))
+	WalkToCoverage(s, g.NumNodes(), 50000)
+	// Burn a while so remaining removals happen.
+	for i := 0; i < 50000; i++ {
+		s.Step()
+	}
+	ov := s.Overlay().Materialize(g.NumNodes())
+	h := stats.NewCountHistogram(g.NumNodes())
+	for i := 0; i < 400000; i++ {
+		h.Observe(int(s.Step()))
+	}
+	want := make([]float64, g.NumNodes())
+	for u := range want {
+		want[u] = float64(ov.Degree(graph.NodeID(u)))
+	}
+	if tv := stats.TotalVariation(h.Distribution(), want); tv > 0.03 {
+		t.Errorf("TV distance from overlay-degree distribution = %v", tv)
+	}
+}
+
+func TestSamplerQueryCostBounded(t *testing.T) {
+	g := gen.EpinionsLikeSmall(7)
+	svc := osn.NewService(g, nil, osn.Config{})
+	client := osn.NewClient(svc)
+	s := NewSampler(client, 0, DefaultConfig(), rng.New(7))
+	for i := 0; i < 5000; i++ {
+		s.Step()
+	}
+	if client.UniqueQueries() > int64(g.NumNodes()) {
+		t.Errorf("unique queries %d exceed node count %d", client.UniqueQueries(), g.NumNodes())
+	}
+	if client.UniqueQueries() == 0 {
+		t.Error("no queries issued")
+	}
+}
+
+func TestSamplerTheorem5UsesClientCache(t *testing.T) {
+	// A configuration only the extension can crack: u=0 and v=1 share the
+	// degree-2 common neighbors w1=2 and w2=3 and have degree 5 each.
+	// Theorem 3 on (0,1): 2*(⌈2/2⌉+1) = 4 > 5 fails. Theorem 5 once w1, w2
+	// are cached: 2 + (4-2)+(4-2) = 6 > 5 fires. No other edge in the graph
+	// is removable at all, so the removal counter isolates the extension.
+	g := graph.FromEdges(8, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3},
+		{U: 0, V: 4}, {U: 0, V: 5}, {U: 1, V: 6}, {U: 1, V: 7},
+	})
+	run := func(useExt bool) (int64, bool) {
+		svc := osn.NewService(g, nil, osn.Config{})
+		client := osn.NewClient(svc)
+		cfg := RemovalOnlyConfig()
+		cfg.UseExtended = useExt
+		s := NewSampler(client, 2, cfg, rng.New(11))
+		for i := 0; i < 3000; i++ {
+			s.Step()
+		}
+		return s.Stats().Removals, s.Overlay().Removed(0, 1)
+	}
+	removals, gone := run(true)
+	if removals != 1 || !gone {
+		t.Errorf("with extension: removals=%d removed(0,1)=%v, want 1/true", removals, gone)
+	}
+	if removals, gone := run(false); removals != 0 || gone {
+		t.Errorf("without extension: removals=%d removed(0,1)=%v, want 0/false", removals, gone)
+	}
+}
+
+func TestReplacementMechanics(t *testing.T) {
+	// A 3-star: hub 0 with leaves 1,2,3 — every walk position at a leaf sees
+	// pivot 0 with degree 3 and two replacement options. Replacement should
+	// fire quickly and create a leaf-leaf edge.
+	g := gen.Star(4)
+	cfg := DefaultConfig()
+	cfg.EnableRemoval = false
+	s := NewSampler(g, 1, cfg, rng.New(13))
+	for i := 0; i < 100 && s.Stats().Replacements == 0; i++ {
+		s.Step()
+	}
+	if s.Stats().Replacements == 0 {
+		t.Fatal("no replacement on a 3-star in 100 steps")
+	}
+	ov := s.Overlay().Materialize(g.NumNodes())
+	if ov.NumEdges() != 3 {
+		t.Errorf("replacement changed edge count: %d", ov.NumEdges())
+	}
+	if !ov.IsConnected() {
+		t.Error("replacement disconnected the star")
+	}
+}
+
+func TestReplacementSkipsExistingEdges(t *testing.T) {
+	// K4: every node has degree 3, but all candidate edges already exist,
+	// so no replacement is licensed and the topology must stay K4.
+	g := gen.Complete(4)
+	cfg := DefaultConfig()
+	cfg.EnableRemoval = false
+	s := NewSampler(g, 0, cfg, rng.New(17))
+	for i := 0; i < 2000; i++ {
+		s.Step()
+	}
+	if s.Stats().Replacements != 0 {
+		t.Errorf("replacements on K4 = %d, want 0", s.Stats().Replacements)
+	}
+}
+
+func TestWeightModes(t *testing.T) {
+	g := gen.Barbell(8)
+	for _, mode := range []WeightMode{WeightOverlayDegree, WeightExact, WeightSampled} {
+		cfg := RemovalOnlyConfig()
+		cfg.Weights = mode
+		s := NewSampler(g, 0, cfg, rng.New(19))
+		WalkToCoverage(s, g.NumNodes(), 50000)
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			w := s.StationaryWeight(v)
+			if w < 1 {
+				t.Errorf("mode %v node %d: weight %v < 1", mode, v, w)
+			}
+			if w > float64(g.Degree(v)) {
+				t.Errorf("mode %v node %d: weight %v exceeds base degree %d", mode, v, w, g.Degree(v))
+			}
+		}
+	}
+}
+
+func TestWeightExactMatchesMaterializedDegree(t *testing.T) {
+	g := gen.Barbell(8)
+	cfg := RemovalOnlyConfig()
+	cfg.Weights = WeightExact
+	s := NewSampler(g, 0, cfg, rng.New(23))
+	WalkToCoverage(s, g.NumNodes(), 50000)
+	// Exact classification removes whatever is removable right now, so a
+	// second call must agree with the materialized overlay.
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		s.StationaryWeight(v) // classification pass
+	}
+	ov := s.Overlay().Materialize(g.NumNodes())
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if got := s.StationaryWeight(v); got != float64(ov.Degree(v)) {
+			t.Errorf("node %d: exact weight %v vs overlay degree %d", v, got, ov.Degree(v))
+		}
+	}
+}
+
+func TestWalkToCoverage(t *testing.T) {
+	g := gen.Cycle(30)
+	s := NewSampler(g, 0, DefaultConfig(), rng.New(29))
+	visited, ok := WalkToCoverage(s, g.NumNodes(), 100000)
+	if !ok || visited != 30 {
+		t.Errorf("coverage = %d/%v", visited, ok)
+	}
+	s2 := NewSampler(g, 0, DefaultConfig(), rng.New(29))
+	if _, ok := WalkToCoverage(s2, g.NumNodes(), 3); ok {
+		t.Error("3 steps cannot cover a 30-cycle")
+	}
+}
+
+func TestSamplerIsolatedStart(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 1, V: 2}})
+	s := NewSampler(g, 0, DefaultConfig(), rng.New(31))
+	if got := s.Step(); got != 0 {
+		t.Errorf("isolated start moved to %d", got)
+	}
+}
+
+func TestSamplerInterfaceCompliance(t *testing.T) {
+	var _ walk.Walker = (*Sampler)(nil)
+	var _ walk.Weighter = (*Sampler)(nil)
+	var _ walk.Source = (*Overlay)(nil)
+}

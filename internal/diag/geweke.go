@@ -1,0 +1,113 @@
+// Package diag implements the convergence diagnostics the paper uses to
+// decide when a random walk has (approximately) reached its stationary
+// distribution — primarily the Geweke indicator of §V-A.3, eq. (14).
+package diag
+
+import (
+	"math"
+
+	"rewire/internal/stats"
+)
+
+// Monitor consumes a scalar trace (the paper uses node degree, "a commonly
+// used [attribute] that applies to every graph") and reports convergence.
+type Monitor interface {
+	// Observe appends the next trace value.
+	Observe(x float64)
+	// Converged reports whether the stopping rule fires at the current
+	// trace length.
+	Converged() bool
+}
+
+// Geweke is the paper's convergence indicator: window A holds the first 10%
+// of the trace, window B the last 50%, and
+//
+//	Z = |mean_A - mean_B| / sqrt(SE²_A + SE²_B)
+//
+// falls below the threshold when the two windows are statistically
+// indistinguishable. (As is standard in the OSN-sampling literature, the S
+// terms of eq. (14) are the squared standard errors of the window means;
+// raw variances would not shrink as the chain grows.) The paper's default
+// threshold is 0.1, swept over [0.1, 0.8] in Fig 9.
+type Geweke struct {
+	threshold float64
+	minLen    int
+	trace     []float64
+}
+
+// DefaultThreshold is the paper's default Geweke threshold.
+const DefaultThreshold = 0.1
+
+// NewGeweke returns a monitor with the given threshold (<= 0 selects the
+// paper default) requiring at least minLen observations before it can fire
+// (<= 0 selects 100, enough for the 10% window to hold 10 points).
+func NewGeweke(threshold float64, minLen int) *Geweke {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	if minLen <= 0 {
+		minLen = 100
+	}
+	return &Geweke{threshold: threshold, minLen: minLen}
+}
+
+// Observe appends x to the trace.
+func (g *Geweke) Observe(x float64) { g.trace = append(g.trace, x) }
+
+// Len returns the trace length.
+func (g *Geweke) Len() int { return len(g.trace) }
+
+// Z computes the current Geweke statistic; NaN when the trace is too short
+// for both windows to be non-empty.
+func (g *Geweke) Z() float64 {
+	n := len(g.trace)
+	nA := n / 10
+	nB := n / 2
+	if nA < 2 || nB < 2 {
+		return math.NaN()
+	}
+	var a, b stats.Summary
+	a.AddAll(g.trace[:nA])
+	b.AddAll(g.trace[n-nB:])
+	seA := a.StdErr()
+	seB := b.StdErr()
+	den := math.Sqrt(seA*seA + seB*seB)
+	if den == 0 {
+		// Both windows constant: converged iff the constants agree.
+		if a.Mean() == b.Mean() {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(a.Mean()-b.Mean()) / den
+}
+
+// Converged reports whether the trace is long enough and Z is within the
+// threshold.
+func (g *Geweke) Converged() bool {
+	if len(g.trace) < g.minLen {
+		return false
+	}
+	z := g.Z()
+	return !math.IsNaN(z) && z <= g.threshold
+}
+
+// Threshold returns the configured threshold.
+func (g *Geweke) Threshold() float64 { return g.threshold }
+
+// FixedLength is a trivial monitor that "converges" after exactly n
+// observations — used for controlled experiments where all samplers must
+// spend identical burn-in.
+type FixedLength struct {
+	n    int
+	seen int
+}
+
+// NewFixedLength returns a monitor firing after n observations.
+func NewFixedLength(n int) *FixedLength { return &FixedLength{n: n} }
+
+// Observe counts.
+func (f *FixedLength) Observe(float64) { f.seen++ }
+
+// Converged fires once the count reaches n.
+func (f *FixedLength) Converged() bool { return f.seen >= f.n }

@@ -1,0 +1,132 @@
+package diag
+
+import (
+	"math"
+	"testing"
+
+	"rewire/internal/rng"
+)
+
+func TestGewekeConvergesOnIID(t *testing.T) {
+	// Z on an iid trace is ~|N(0,1)|, so any single check may exceed the
+	// threshold; the stopping rule is polled as the chain grows (exactly how
+	// the samplers use it) and should fire quickly.
+	r := rng.New(1)
+	g := NewGeweke(0.5, 100)
+	converged := false
+	for i := 1; i <= 5000 && !converged; i++ {
+		g.Observe(r.NormFloat64())
+		if i%25 == 0 {
+			converged = g.Converged()
+		}
+	}
+	if !converged {
+		t.Errorf("iid trace never converged in 5000 steps; final Z = %v", g.Z())
+	}
+}
+
+func TestGewekeRejectsTrend(t *testing.T) {
+	r := rng.New(2)
+	g := NewGeweke(0.1, 100)
+	for i := 0; i < 5000; i++ {
+		g.Observe(float64(i)/1000 + 0.1*r.NormFloat64())
+	}
+	if g.Converged() {
+		t.Errorf("trending trace should not converge; Z = %v", g.Z())
+	}
+	if g.Z() < 10 {
+		t.Errorf("Z = %v, expected strongly significant drift", g.Z())
+	}
+}
+
+func TestGewekeMinLength(t *testing.T) {
+	g := NewGeweke(100, 50) // absurdly lax threshold
+	for i := 0; i < 49; i++ {
+		g.Observe(1)
+	}
+	if g.Converged() {
+		t.Error("converged before minLen")
+	}
+	g.Observe(1)
+	if !g.Converged() {
+		t.Error("constant trace at minLen should converge")
+	}
+}
+
+func TestGewekeZShortTrace(t *testing.T) {
+	g := NewGeweke(0.1, 10)
+	g.Observe(1)
+	g.Observe(2)
+	if !math.IsNaN(g.Z()) {
+		t.Errorf("Z on 2-point trace = %v, want NaN", g.Z())
+	}
+}
+
+func TestGewekeConstantDisagreement(t *testing.T) {
+	g := NewGeweke(0.1, 10)
+	// First 10% all zeros, tail all ones: zero variance, different means.
+	for i := 0; i < 30; i++ {
+		g.Observe(0)
+	}
+	for i := 0; i < 270; i++ {
+		g.Observe(1)
+	}
+	if !math.IsInf(g.Z(), 1) {
+		t.Errorf("Z = %v, want +Inf for contradictory constants", g.Z())
+	}
+	if g.Converged() {
+		t.Error("must not converge")
+	}
+}
+
+func TestGewekeDefaults(t *testing.T) {
+	g := NewGeweke(0, 0)
+	if g.Threshold() != DefaultThreshold {
+		t.Errorf("threshold = %v", g.Threshold())
+	}
+	for i := 0; i < 99; i++ {
+		g.Observe(0)
+	}
+	if g.Converged() {
+		t.Error("default minLen should be 100")
+	}
+}
+
+func TestGewekeThresholdOrdering(t *testing.T) {
+	// A stricter threshold must need at least as long a trace to fire.
+	r := rng.New(3)
+	// AR(1)-ish slowly converging trace.
+	convergenceAt := func(threshold float64) int {
+		g := NewGeweke(threshold, 100)
+		x := 5.0
+		for i := 1; i <= 20000; i++ {
+			x = 0.999*x + 0.05*r.NormFloat64()
+			g.Observe(x)
+			if i%50 == 0 && g.Converged() {
+				return i
+			}
+		}
+		return 20001
+	}
+	strict := convergenceAt(0.05)
+	loose := convergenceAt(0.8)
+	if loose > strict {
+		t.Errorf("loose threshold converged later (%d) than strict (%d)", loose, strict)
+	}
+}
+
+func TestFixedLength(t *testing.T) {
+	f := NewFixedLength(3)
+	if f.Converged() {
+		t.Error("converged with no observations")
+	}
+	f.Observe(0)
+	f.Observe(0)
+	if f.Converged() {
+		t.Error("converged at 2/3")
+	}
+	f.Observe(0)
+	if !f.Converged() {
+		t.Error("did not converge at 3/3")
+	}
+}

@@ -1,0 +1,237 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"rewire/internal/diag"
+	"rewire/internal/gen"
+	"rewire/internal/graph"
+	"rewire/internal/osn"
+	"rewire/internal/rng"
+	"rewire/internal/walk"
+)
+
+func TestImportanceSamplerUnweighted(t *testing.T) {
+	var s ImportanceSampler
+	for _, f := range []float64{1, 2, 3, 4} {
+		if err := s.Add(f, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Estimate(); got != 2.5 {
+		t.Errorf("Estimate = %v, want 2.5", got)
+	}
+	if s.N() != 4 {
+		t.Errorf("N = %d", s.N())
+	}
+}
+
+func TestImportanceSamplerWeighted(t *testing.T) {
+	// Two items with stationary weights 1 and 3 (degree-proportional):
+	// item values 10 and 30. Uniform-target estimate:
+	// (10*1 + 30/3) / (1 + 1/3) = 20/(4/3) = 15 — not the naive 20.
+	var s ImportanceSampler
+	if err := s.Add(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(30, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Estimate(); math.Abs(got-15) > 1e-12 {
+		t.Errorf("Estimate = %v, want 15", got)
+	}
+}
+
+func TestImportanceSamplerRejectsBadWeight(t *testing.T) {
+	var s ImportanceSampler
+	if err := s.Add(1, 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if err := s.Add(1, -2); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if s.Estimate() != 0 {
+		t.Error("empty sampler estimate not 0")
+	}
+}
+
+func TestSRWDegreeEstimateUnbiased(t *testing.T) {
+	// The canonical identity: SRW samples reweighted by 1/deg estimate the
+	// true average degree. Star graph: truth = 2(n-1)/n.
+	g := gen.Star(20)
+	truth := GroundTruthDegree(g)
+	w := walk.NewSimple(g, 0, rng.New(1))
+	var est ImportanceSampler
+	for i := 0; i < 200000; i++ {
+		v := w.Step()
+		deg := float64(g.Degree(v))
+		if err := est.Add(deg, deg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rel := math.Abs(est.Estimate()-truth) / truth; rel > 0.02 {
+		t.Errorf("SRW estimate %v vs truth %v (rel %v)", est.Estimate(), truth, rel)
+	}
+}
+
+func TestGroundTruth(t *testing.T) {
+	g := gen.Path(4) // degrees 1,2,2,1
+	if got := GroundTruth(g, AvgDegree(), nil); got != 1.5 {
+		t.Errorf("avg degree = %v, want 1.5", got)
+	}
+	attrs := func(v graph.NodeID) Attrs { return Attrs{DescLen: int(v) * 10} }
+	if got := GroundTruth(g, AvgDescLen(), attrs); got != 15 {
+		t.Errorf("avg desc len = %v, want 15", got)
+	}
+	frac := GroundTruth(g, CountPredicate("deg2", func(_ graph.NodeID, deg int, _ Attrs) bool {
+		return deg == 2
+	}), nil)
+	if frac != 0.5 {
+		t.Errorf("predicate fraction = %v, want 0.5", frac)
+	}
+}
+
+func TestTrajectoryCostToReach(t *testing.T) {
+	tr := &Trajectory{}
+	truth := 10.0
+	// Errors: 0.5, 0.3, 0.15, 0.05, 0.02 at costs 10..50.
+	for i, est := range []float64{15, 13, 11.5, 10.5, 10.2} {
+		tr.Record(int64(10*(i+1)), est)
+	}
+	c, ok := tr.CostToReach(truth, 0.2)
+	if !ok || c != 30 {
+		t.Errorf("CostToReach(0.2) = %d,%v want 30,true", c, ok)
+	}
+	c, ok = tr.CostToReach(truth, 0.1)
+	if !ok || c != 40 {
+		t.Errorf("CostToReach(0.1) = %d,%v want 40,true", c, ok)
+	}
+	// Never settles below 0.01.
+	if _, ok := tr.CostToReach(truth, 0.01); ok {
+		t.Error("should not settle below 0.01")
+	}
+	// Below threshold from the start.
+	c, ok = tr.CostToReach(truth, 0.9)
+	if !ok || c != 10 {
+		t.Errorf("CostToReach(0.9) = %d,%v want 10,true", c, ok)
+	}
+}
+
+func TestTrajectoryCostToReachNonMonotone(t *testing.T) {
+	// An estimate that dips below then bounces above the threshold: the
+	// cost must reflect the *last* exceedance.
+	tr := &Trajectory{}
+	tr.Record(10, 12) // err .2
+	tr.Record(20, 10) // err 0
+	tr.Record(30, 13) // err .3 again
+	tr.Record(40, 10.1)
+	c, ok := tr.CostToReach(10, 0.15)
+	if !ok || c != 40 {
+		t.Errorf("CostToReach = %d,%v want 40,true", c, ok)
+	}
+}
+
+func TestMeanCostToReach(t *testing.T) {
+	mk := func(costs []int64, ests []float64) *Trajectory {
+		tr := &Trajectory{}
+		for i := range costs {
+			tr.Record(costs[i], ests[i])
+		}
+		return tr
+	}
+	runs := []*Trajectory{
+		mk([]int64{10, 20}, []float64{15, 10}), // settles at 20
+		mk([]int64{10, 20}, []float64{10, 10}), // settles at 10
+		mk([]int64{10, 20}, []float64{15, 15}), // never settles
+	}
+	mean, settled := MeanCostToReach(runs, 10, 0.2)
+	if settled != 2 || mean != 15 {
+		t.Errorf("MeanCostToReach = %v,%d want 15,2", mean, settled)
+	}
+	// At a tiny threshold, runs 1 and 2 still settle (both end exactly at
+	// the truth); run 3 never does.
+	if _, settled := MeanCostToReach(runs, 10, 0.001); settled != 2 {
+		t.Errorf("settled = %d, want 2", settled)
+	}
+}
+
+func TestTrajectoryEmpty(t *testing.T) {
+	tr := &Trajectory{}
+	if !math.IsNaN(tr.Final()) {
+		t.Error("empty Final should be NaN")
+	}
+	if tr.FinalCost() != 0 {
+		t.Error("empty FinalCost should be 0")
+	}
+	if _, ok := tr.CostToReach(1, 0.5); ok {
+		t.Error("empty trajectory cannot settle")
+	}
+}
+
+func TestRunSessionEndToEnd(t *testing.T) {
+	g := gen.EpinionsLikeSmall(3)
+	svc := osn.NewService(g, nil, osn.Config{})
+	client := osn.NewClient(svc)
+	w := walk.NewSimple(client, 0, rng.New(5))
+	info := func(v graph.NodeID) (int, Attrs) { return client.Degree(v), Attrs{} }
+	res := RunSession(w, w, AvgDegree(), info, client.UniqueQueries, SessionConfig{
+		BurnIn:  diag.NewGeweke(0.5, 200),
+		Samples: 4000,
+	})
+	if !res.BurnInConverged {
+		t.Error("burn-in did not converge")
+	}
+	if res.Samples != 4000 {
+		t.Errorf("samples = %d", res.Samples)
+	}
+	truth := GroundTruthDegree(g)
+	if rel := math.Abs(res.Estimate-truth) / truth; rel > 0.25 {
+		t.Errorf("estimate %v vs truth %v (rel %v)", res.Estimate, truth, rel)
+	}
+	if res.FinalCost <= 0 || res.FinalCost != client.UniqueQueries() {
+		t.Errorf("cost accounting broken: %d vs %d", res.FinalCost, client.UniqueQueries())
+	}
+	if len(res.Trajectory.Points) == 0 {
+		t.Error("no trajectory recorded")
+	}
+}
+
+func TestRunSessionWithoutCostMeter(t *testing.T) {
+	g := gen.Barbell(5)
+	w := walk.NewSimple(g, 0, rng.New(7))
+	info := func(v graph.NodeID) (int, Attrs) { return g.Degree(v), Attrs{} }
+	res := RunSession(w, w, AvgDegree(), info, nil, SessionConfig{Samples: 100})
+	// Cost falls back to step counting: 100 sampling steps, no burn-in.
+	if res.FinalCost != 100 {
+		t.Errorf("FinalCost = %d, want 100 steps", res.FinalCost)
+	}
+}
+
+func TestRunSessionUniformWalkerNoWeighter(t *testing.T) {
+	g := gen.Lollipop(5, 3)
+	mh := walk.NewMetropolisHastings(g, 0, rng.New(9))
+	info := func(v graph.NodeID) (int, Attrs) { return g.Degree(v), Attrs{} }
+	res := RunSession(mh, mh, AvgDegree(), info, nil, SessionConfig{Samples: 120000})
+	truth := GroundTruthDegree(g)
+	if rel := math.Abs(res.Estimate-truth) / truth; rel > 0.05 {
+		t.Errorf("MHRW estimate %v vs truth %v (rel %v)", res.Estimate, truth, rel)
+	}
+}
+
+func TestRunSessionBurnInCap(t *testing.T) {
+	g := gen.Barbell(8)
+	w := walk.NewSimple(g, 0, rng.New(11))
+	info := func(v graph.NodeID) (int, Attrs) { return g.Degree(v), Attrs{} }
+	res := RunSession(w, w, AvgDegree(), info, nil, SessionConfig{
+		BurnIn:         diag.NewGeweke(1e-9, 100), // unreachable threshold
+		MaxBurnInSteps: 500,
+		Samples:        10,
+	})
+	if res.BurnInConverged {
+		t.Error("impossible threshold converged")
+	}
+	if res.BurnInSteps != 500 {
+		t.Errorf("burn-in steps = %d, want cap 500", res.BurnInSteps)
+	}
+}

@@ -1,0 +1,131 @@
+package estimate
+
+import (
+	"rewire/internal/diag"
+	"rewire/internal/graph"
+	"rewire/internal/walk"
+)
+
+// InfoFunc returns the degree and attributes of a sampled user. Built over
+// an osn.Client it costs nothing extra: the walk already queried the node it
+// stands on.
+type InfoFunc func(v graph.NodeID) (deg int, attrs Attrs)
+
+// CostFunc returns the query budget spent so far (e.g. Client.UniqueQueries).
+type CostFunc func() int64
+
+// SessionConfig controls one sampling run.
+type SessionConfig struct {
+	// BurnIn is the convergence monitor deciding when sampling may start
+	// (the paper uses Geweke on the degree trace). nil skips burn-in.
+	BurnIn diag.Monitor
+	// BurnInCheckEvery is how many steps pass between convergence checks
+	// (default 25).
+	BurnInCheckEvery int
+	// MaxBurnInSteps caps the burn-in phase (default 100000).
+	MaxBurnInSteps int
+	// Samples is the number of post-burn-in samples to draw.
+	Samples int
+	// Thinning is the number of walk steps per retained sample (default 1,
+	// as in the paper — every post-burn-in node is a sample).
+	Thinning int
+	// RecordEvery sets the trajectory granularity in samples (default 1).
+	RecordEvery int
+}
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.BurnInCheckEvery <= 0 {
+		c.BurnInCheckEvery = 25
+	}
+	if c.MaxBurnInSteps <= 0 {
+		c.MaxBurnInSteps = 100000
+	}
+	if c.Thinning <= 0 {
+		c.Thinning = 1
+	}
+	if c.RecordEvery <= 0 {
+		c.RecordEvery = 1
+	}
+	return c
+}
+
+// SessionResult reports one sampling run.
+type SessionResult struct {
+	// Trajectory holds (cost, estimate) points across the sampling phase.
+	Trajectory *Trajectory
+	// Estimate is the final importance-sampling estimate.
+	Estimate float64
+	// BurnInSteps is the number of steps spent before sampling.
+	BurnInSteps int
+	// BurnInConverged reports whether the monitor fired (false when the cap
+	// was hit or no monitor was configured).
+	BurnInConverged bool
+	// Samples is the number of samples recorded.
+	Samples int
+	// FinalCost is the query budget consumed by the whole run.
+	FinalCost int64
+}
+
+// RunSession executes the paper's sampling protocol: walk until the
+// convergence monitor fires (burn-in), then record samples with importance
+// weights, tracking the estimate as a function of spent query cost.
+//
+// weight may be nil for walkers that do not implement walk.Weighter, in
+// which case samples are unweighted (valid only for uniform-stationary
+// walkers like MHRW/RJ).
+func RunSession(w walk.Walker, weight walk.Weighter, agg Aggregate, info InfoFunc, cost CostFunc, cfg SessionConfig) SessionResult {
+	cfg = cfg.withDefaults()
+	// Without a cost meter, fall back to counting steps.
+	var steps int64
+	step := func() graph.NodeID { steps++; return w.Step() }
+	if cost == nil {
+		cost = func() int64 { return steps }
+	}
+	var res SessionResult
+	res.Trajectory = &Trajectory{}
+
+	// Burn-in phase: observe the degree trace until convergence.
+	if cfg.BurnIn != nil {
+		for res.BurnInSteps < cfg.MaxBurnInSteps {
+			v := step()
+			res.BurnInSteps++
+			deg, _ := info(v)
+			cfg.BurnIn.Observe(float64(deg))
+			if res.BurnInSteps%cfg.BurnInCheckEvery == 0 && cfg.BurnIn.Converged() {
+				res.BurnInConverged = true
+				break
+			}
+		}
+	}
+
+	// Sampling phase.
+	var est ImportanceSampler
+	for i := 0; i < cfg.Samples; i++ {
+		var v graph.NodeID
+		for s := 0; s < cfg.Thinning; s++ {
+			v = step()
+		}
+		deg, attrs := info(v)
+		f := agg.Value(v, deg, attrs)
+		omega := 1.0
+		if weight != nil {
+			omega = weight.StationaryWeight(v)
+		}
+		if omega <= 0 {
+			omega = 1 // degenerate weight: fall back rather than poison the ratio
+		}
+		if err := est.Add(f, omega); err != nil {
+			continue
+		}
+		res.Samples++
+		if res.Samples%cfg.RecordEvery == 0 {
+			res.Trajectory.Record(cost(), est.Estimate())
+		}
+	}
+	res.Estimate = est.Estimate()
+	res.FinalCost = cost()
+	if len(res.Trajectory.Points) == 0 || res.Trajectory.FinalCost() != res.FinalCost {
+		res.Trajectory.Record(res.FinalCost, res.Estimate)
+	}
+	return res
+}

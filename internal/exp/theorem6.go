@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"rewire/internal/gen"
+	"rewire/internal/latent"
+	"rewire/internal/rng"
+)
+
+// Theorem6Config controls the §IV-B verification: the numeric removal
+// probability against Monte Carlo, and the eq. (23) removable-edge bound
+// against generated latent graphs.
+type Theorem6Config struct {
+	// MonteCarloPairs samples for P(d <= d0) (paper: "20000 points").
+	MonteCarloPairs int
+	// GraphNodes and GraphTrials size the empirical removable-edge check.
+	GraphNodes  int
+	GraphTrials int
+}
+
+// DefaultTheorem6Config mirrors the paper's simulation scale.
+func DefaultTheorem6Config() Theorem6Config {
+	return Theorem6Config{MonteCarloPairs: 20000, GraphNodes: 500, GraphTrials: 20}
+}
+
+// QuickTheorem6Config is the reduced-scale variant.
+func QuickTheorem6Config() Theorem6Config {
+	return Theorem6Config{MonteCarloPairs: 5000, GraphNodes: 150, GraphTrials: 5}
+}
+
+// Theorem6Result holds the verification numbers.
+type Theorem6Result struct {
+	D0          float64
+	PNumeric    float64
+	PMonteCarlo float64
+	GainBound   float64 // paper eq. (13): 1.052
+
+	Edges            int
+	GeometricCount   int     // edges with d <= d0 (Theorem 6 certificate)
+	CombinatorialCnt int     // edges passing the |N∩N| >= |N∪N|-2 test
+	BoundCount       float64 // eq. (23): |E| * P
+}
+
+// Theorem6 runs the verification with the paper's parameters (r = 0.7,
+// box [0,4]×[0,5], hard threshold).
+func Theorem6(cfg Theorem6Config, seed uint64) (Theorem6Result, error) {
+	master := rng.New(seed)
+	var res Theorem6Result
+	res.D0 = latent.ThresholdD0(0.7)
+	var err error
+	res.PNumeric, err = latent.RemovalProbability(res.D0, 4, 5)
+	if err != nil {
+		return res, err
+	}
+	res.PMonteCarlo = latent.MonteCarloRemovalProbability(res.D0, 4, 5, cfg.MonteCarloPairs, master.Split())
+	res.GainBound = latent.PaperGainBound()
+
+	for trial := 0; trial < cfg.GraphTrials; trial++ {
+		g, pts, err := gen.LatentSpace(gen.PaperLatentConfig(cfg.GraphNodes), master.Split())
+		if err != nil {
+			return res, err
+		}
+		res.Edges += g.NumEdges()
+		res.GeometricCount += latent.GeometricallyRemovableEdges(g, pts, res.D0)
+		res.CombinatorialCnt += latent.CombinatoriallyRemovableEdges(g)
+	}
+	res.BoundCount, err = latent.ExpectedRemovableEdgesBound(res.Edges, 0.7, 4, 5)
+	return res, err
+}
+
+// Render prints the verification.
+func (r Theorem6Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Theorem 6 — latent-space removal bound (r=0.7, box [0,4]x[0,5], D=2)")
+	fmt.Fprintf(w, "  d0 = %.4f\n", r.D0)
+	fmt.Fprintf(w, "  P(d <= d0): numeric %.4f, Monte Carlo %.4f\n", r.PNumeric, r.PMonteCarlo)
+	fmt.Fprintf(w, "  conductance gain bound 1/(1-P) = %.4f (paper eq. 13: 1.052)\n", r.GainBound)
+	fmt.Fprintf(w, "  edges across trials: %d\n", r.Edges)
+	fmt.Fprintf(w, "  removable edges: geometric certificate %d, combinatorial certificate %d, eq.(23) bound %.1f\n",
+		r.GeometricCount, r.CombinatorialCnt, r.BoundCount)
+}

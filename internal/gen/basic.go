@@ -1,0 +1,101 @@
+// Package gen builds the graphs the reproduction runs on: deterministic
+// topologies (the paper's barbell running example, cliques, cycles, …),
+// classic random models (Erdős–Rényi, Barabási–Albert, Watts–Strogatz,
+// planted partition), the latent-space model of the paper's §IV-B, and the
+// calibrated "tight community" social model that stands in for the SNAP
+// snapshots and the Google Plus crawl (see DESIGN.md §2 for the substitution
+// rationale).
+package gen
+
+import "rewire/internal/graph"
+
+// Barbell returns the paper's running example generalized to clique size k:
+// two k-cliques joined by a single edge between node 0 and node k. With
+// k = 11 this is the 22-node, 111-edge graph of Fig 1, whose conductance is
+// 1/(C(11,2)+1) = 1/56 ≈ 0.018.
+func Barbell(k int) *graph.Graph {
+	b := graph.NewBuilder(2 * k)
+	for side := 0; side < 2; side++ {
+		off := graph.NodeID(side * k)
+		for i := graph.NodeID(0); int(i) < k; i++ {
+			for j := i + 1; int(j) < k; j++ {
+				b.AddEdge(off+i, off+j)
+			}
+		}
+	}
+	b.AddEdge(0, graph.NodeID(k))
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := graph.NodeID(0); int(i) < n; i++ {
+		for j := i + 1; int(j) < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// Cycle returns the n-cycle C_n (n >= 3).
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	return b.Build()
+}
+
+// Path returns the path graph on n nodes.
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return b.Build()
+}
+
+// Star returns the star with one hub (node 0) and n-1 leaves.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, graph.NodeID(i))
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols 2D lattice.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Lollipop returns a k-clique with a path of tail nodes attached — another
+// classic low-conductance shape used in rewiring tests.
+func Lollipop(k, tail int) *graph.Graph {
+	b := graph.NewBuilder(k + tail)
+	for i := graph.NodeID(0); int(i) < k; i++ {
+		for j := i + 1; int(j) < k; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	prev := graph.NodeID(k - 1)
+	for i := 0; i < tail; i++ {
+		next := graph.NodeID(k + i)
+		b.AddEdge(prev, next)
+		prev = next
+	}
+	return b.Build()
+}

@@ -1,0 +1,335 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rewire/internal/graph"
+	"rewire/internal/rng"
+)
+
+// SocialConfig parameterizes the calibrated "tight community" social-graph
+// model used as the stand-in for the paper's SNAP snapshots and Google Plus
+// crawl. The model produces the two properties the paper's technique feeds
+// on: a heavy-tailed degree distribution, and many small dense pockets in
+// which members' degrees are comparable to the pocket size — exactly the
+// regime where the Theorem 3 removal criterion (|N(u)∩N(v)| ≳ max(ku,kv)-2)
+// fires, and which gives real OSNs their unexpectedly low conductance [18].
+type SocialConfig struct {
+	Nodes        int     // number of nodes
+	TargetEdges  int     // approximate edge count of the output
+	Gamma        float64 // power-law exponent of the degree distribution (default 2.3)
+	MinDegree    int     // smallest degree (default 3)
+	MaxDegree    int     // largest degree (default ~2*sqrt(2m))
+	Mixing       float64 // fraction of a gateway node's stubs wired across communities (default 0.4)
+	Slack        float64 // community size ≈ Slack * member degree + 2 (default 1.25)
+	MinCommunity int     // smallest community size (default 6)
+	// GatewayFraction is the fraction of each community's members that
+	// carry inter-community edges (default 0.2). Everyone else keeps all
+	// their connections inside the pocket, which is what makes real OSN
+	// communities the deep random-walk traps of [18]: a walk escapes only
+	// through the few gateways.
+	GatewayFraction float64
+	// SuperClusters splits the communities into this many loosely-coupled
+	// macro regions (default 2; 1 disables). Gateways wire within their
+	// region; only BridgeFraction of the edge budget crosses regions. This
+	// reproduces the global sparse cuts behind the "mixing time much larger
+	// than anticipated" finding of [18] that motivates the paper.
+	SuperClusters int
+	// BridgeFraction is the fraction of TargetEdges crossing super-cluster
+	// boundaries (default 0.004).
+	BridgeFraction float64
+}
+
+func (c SocialConfig) withDefaults() SocialConfig {
+	if c.Gamma == 0 {
+		c.Gamma = 2.3
+	}
+	if c.MinDegree == 0 {
+		c.MinDegree = 3
+	}
+	if c.MaxDegree == 0 {
+		c.MaxDegree = int(2 * math.Sqrt(float64(2*c.TargetEdges)))
+		if c.MaxDegree >= c.Nodes {
+			c.MaxDegree = c.Nodes - 1
+		}
+	}
+	if c.Mixing == 0 {
+		c.Mixing = 0.4
+	}
+	if c.Slack == 0 {
+		c.Slack = 1.25
+	}
+	if c.MinCommunity == 0 {
+		c.MinCommunity = 6
+	}
+	if c.GatewayFraction == 0 {
+		c.GatewayFraction = 0.2
+	}
+	if c.SuperClusters == 0 {
+		c.SuperClusters = 2
+	}
+	if c.BridgeFraction == 0 {
+		c.BridgeFraction = 0.004
+	}
+	return c
+}
+
+// PowerLawDegrees draws a degree sequence with tail exponent gamma whose sum
+// is 2*m (so it is realizable as m edges): continuous Pareto quantiles are
+// scaled by a factor found with binary search, clamped to [kmin, kmax], and
+// the sum parity is fixed up on a random node.
+func PowerLawDegrees(n, m int, gamma float64, kmin, kmax int, r *rng.Rand) []int {
+	if n <= 0 {
+		return nil
+	}
+	if kmin < 1 {
+		kmin = 1
+	}
+	if kmax < kmin {
+		kmax = kmin
+	}
+	base := make([]float64, n)
+	for i := range base {
+		u := r.Float64()
+		// Pareto quantile with minimum 1: (1-u)^(-1/(gamma-1)).
+		base[i] = math.Pow(1-u, -1/(gamma-1))
+	}
+	degsFor := func(alpha float64) ([]int, int) {
+		ks := make([]int, n)
+		sum := 0
+		for i, w := range base {
+			k := int(math.Round(alpha * w))
+			if k < kmin {
+				k = kmin
+			}
+			if k > kmax {
+				k = kmax
+			}
+			ks[i] = k
+			sum += k
+		}
+		return ks, sum
+	}
+	target := 2 * m
+	lo, hi := 1e-3, float64(kmax)
+	for iter := 0; iter < 80; iter++ {
+		mid := (lo + hi) / 2
+		_, sum := degsFor(mid)
+		if sum < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	ks, sum := degsFor(hi)
+	// Nudge random nodes to close the residual gap (clamping makes an exact
+	// hit by scaling alone impossible in general).
+	for sum != target {
+		i := r.Intn(n)
+		switch {
+		case sum < target && ks[i] < kmax:
+			ks[i]++
+			sum++
+		case sum > target && ks[i] > kmin:
+			ks[i]--
+			sum--
+		}
+	}
+	return ks
+}
+
+// Social generates a graph from cfg. The construction:
+//
+//  1. draw a power-law degree sequence summing to 2*TargetEdges;
+//  2. sort nodes by degree and chunk them into communities sized
+//     ≈ Slack*degree+2, so low-degree nodes land in pockets they can almost
+//     fill (near-cliques) while hubs overflow into the global stage;
+//  3. wire ⌈(1-Mixing)·k⌉ of each node's stubs inside its community and the
+//     rest across communities, both by randomized stub matching with
+//     duplicate rejection;
+//  4. connect leftover components to the giant with one edge each.
+//
+// The result has NumNodes() == cfg.Nodes and an edge count within a few
+// percent of cfg.TargetEdges (exact counts are reported by the harness).
+func Social(cfg SocialConfig, r *rng.Rand) (*graph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < cfg.MinCommunity {
+		return nil, fmt.Errorf("gen: Social needs at least %d nodes", cfg.MinCommunity)
+	}
+	maxEdges := cfg.Nodes * (cfg.Nodes - 1) / 2
+	if cfg.TargetEdges < cfg.Nodes || cfg.TargetEdges > maxEdges {
+		return nil, fmt.Errorf("gen: TargetEdges %d out of range [%d, %d]", cfg.TargetEdges, cfg.Nodes, maxEdges)
+	}
+	n := cfg.Nodes
+	degs := PowerLawDegrees(n, cfg.TargetEdges, cfg.Gamma, cfg.MinDegree, cfg.MaxDegree, r)
+
+	// Chunk degree-sorted nodes into communities.
+	order := r.Perm(n) // random tie-break before the stable degree sort
+	sort.SliceStable(order, func(a, b int) bool { return degs[order[a]] < degs[order[b]] })
+	var communities [][]graph.NodeID
+	for i := 0; i < n; {
+		want := int(math.Round(cfg.Slack*float64(degs[order[i]]))) + 2
+		if want < cfg.MinCommunity {
+			want = cfg.MinCommunity
+		}
+		if rem := n - i; want > rem || rem-want < cfg.MinCommunity {
+			want = rem
+		}
+		mem := make([]graph.NodeID, want)
+		for j := 0; j < want; j++ {
+			mem[j] = graph.NodeID(order[i+j])
+		}
+		communities = append(communities, mem)
+		i += want
+	}
+
+	b := graph.NewBuilder(n)
+	seen := make(map[graph.EdgeKey]struct{}, cfg.TargetEdges)
+	addEdge := func(u, v graph.NodeID) bool {
+		if u == v {
+			return false
+		}
+		k := graph.KeyOf(u, v)
+		if _, ok := seen[k]; ok {
+			return false
+		}
+		seen[k] = struct{}{}
+		b.AddEdge(u, v)
+		return true
+	}
+
+	// Intra-community wiring: randomized stub matching, then a greedy
+	// completion pass (random matching alone cannot realize near-cliques —
+	// late stubs keep colliding with existing edges). The last (highest
+	// degree, by construction order) GatewayFraction of members are the
+	// community's gateways: only they reserve stubs for inter-community
+	// edges; everyone else aims all connections inside the pocket.
+	used := make([]int, n)
+	for _, mem := range communities {
+		s := len(mem)
+		gateways := int(math.Round(cfg.GatewayFraction * float64(s)))
+		if gateways < 1 {
+			gateways = 1
+		}
+		targets := make(map[graph.NodeID]int, s)
+		var stubs []graph.NodeID
+		for idx, u := range mem {
+			t := degs[u]
+			if idx >= s-gateways {
+				t = int(math.Ceil((1 - cfg.Mixing) * float64(degs[u])))
+			}
+			if t > s-1 {
+				t = s - 1
+			}
+			targets[u] = t
+			for j := 0; j < t; j++ {
+				stubs = append(stubs, u)
+			}
+		}
+		matched := matchStubs(stubs, addEdge, r, 4)
+		for _, u := range matched {
+			used[u]++
+		}
+		// Greedy completion of whatever the random matching left unfilled.
+		for i, u := range mem {
+			if used[u] >= targets[u] {
+				continue
+			}
+			for j := i + 1; j < s && used[u] < targets[u]; j++ {
+				v := mem[j]
+				if used[v] >= targets[v] {
+					continue
+				}
+				if addEdge(u, v) {
+					used[u]++
+					used[v]++
+				}
+			}
+		}
+	}
+
+	// Inter-community wiring from the residual stubs, region by region:
+	// each community belongs to one super-cluster and its gateways wire
+	// within it; a thin bridge budget crosses regions.
+	region := make([]int, n)
+	for ci, mem := range communities {
+		rg := ci % cfg.SuperClusters
+		for _, u := range mem {
+			region[u] = rg
+		}
+	}
+	pools := make([][]graph.NodeID, cfg.SuperClusters)
+	for u := 0; u < n; u++ {
+		for j := used[u]; j < degs[u]; j++ {
+			pools[region[u]] = append(pools[region[u]], graph.NodeID(u))
+		}
+	}
+	for rg := range pools {
+		matched := matchStubs(pools[rg], addEdge, r, 6)
+		for _, u := range matched {
+			used[u]++
+		}
+	}
+	if cfg.SuperClusters > 1 {
+		bridges := int(math.Round(cfg.BridgeFraction * float64(cfg.TargetEdges)))
+		if bridges < cfg.SuperClusters-1 {
+			bridges = cfg.SuperClusters - 1 // keep regions connectable
+		}
+		for added, attempts := 0, 200*bridges; added < bridges && attempts > 0; attempts-- {
+			ra := r.Intn(cfg.SuperClusters)
+			rb := r.Intn(cfg.SuperClusters)
+			if ra == rb || len(pools[ra]) == 0 || len(pools[rb]) == 0 {
+				continue
+			}
+			if addEdge(rng.Choice(r, pools[ra]), rng.Choice(r, pools[rb])) {
+				added++
+			}
+		}
+	}
+
+	// Top up to the exact edge target with degree-weighted random pairs
+	// inside random regions (bounded attempts; an unlucky draw sequence
+	// leaves the count a hair short rather than looping forever).
+	if deficit := cfg.TargetEdges - len(seen); deficit > 0 {
+		for attempts := 60 * deficit; attempts > 0 && len(seen) < cfg.TargetEdges; attempts-- {
+			pool := pools[r.Intn(cfg.SuperClusters)]
+			if len(pool) < 2 {
+				continue
+			}
+			addEdge(rng.Choice(r, pool), rng.Choice(r, pool))
+		}
+	}
+
+	return Connect(b.Build(), r), nil
+}
+
+// matchStubs pairs stubs randomly, calling addEdge for each pair; pairs that
+// fail (self-loop or duplicate) are retried in up to `rounds` extra passes.
+// It returns the stubs that were successfully matched (one entry per matched
+// endpoint).
+func matchStubs(stubs []graph.NodeID, addEdge func(u, v graph.NodeID) bool, r *rng.Rand, rounds int) []graph.NodeID {
+	var matched []graph.NodeID
+	pending := stubs
+	for pass := 0; pass <= rounds && len(pending) >= 2; pass++ {
+		r.Shuffle(len(pending), func(i, j int) { pending[i], pending[j] = pending[j], pending[i] })
+		var leftover []graph.NodeID
+		for i := 0; i+1 < len(pending); i += 2 {
+			u, v := pending[i], pending[i+1]
+			if addEdge(u, v) {
+				matched = append(matched, u, v)
+			} else {
+				leftover = append(leftover, u, v)
+			}
+		}
+		if len(pending)%2 == 1 {
+			leftover = append(leftover, pending[len(pending)-1])
+		}
+		if len(leftover) == len(pending) {
+			break // no progress; give up
+		}
+		pending = leftover
+	}
+	return matched
+}

@@ -1,0 +1,88 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"rewire/internal/graph"
+	"rewire/internal/rng"
+)
+
+// LatentSpaceConfig parameterizes the latent space model of the paper's
+// §IV-B (Sarkar–Chakrabarti–Moore): n points are placed uniformly at random
+// in a D-dimensional box and nodes i, j are connected with probability
+//
+//	P(i ~ j | d_ij) = 1 / (1 + e^{Alpha (d_ij - R)}),
+//
+// the paper's eq. (11). Alpha = +Inf (math.Inf(1)) gives the hard-threshold
+// random geometric graph assumed by Theorem 6.
+type LatentSpaceConfig struct {
+	N       int
+	Lengths []float64 // box side lengths; len(Lengths) = D (paper: [4, 5])
+	R       float64   // sociability radius (paper: 0.7)
+	Alpha   float64   // sharpness; +Inf for the hard threshold
+}
+
+// LatentSpace generates the graph and returns it with the node coordinates.
+// The pairwise loop is O(n²); the paper's Fig 10 uses n in [50, 100].
+func LatentSpace(cfg LatentSpaceConfig, r *rng.Rand) (*graph.Graph, [][]float64, error) {
+	if cfg.N < 1 {
+		return nil, nil, fmt.Errorf("gen: LatentSpace needs N >= 1, got %d", cfg.N)
+	}
+	if len(cfg.Lengths) == 0 {
+		return nil, nil, fmt.Errorf("gen: LatentSpace needs at least one dimension")
+	}
+	if cfg.R <= 0 {
+		return nil, nil, fmt.Errorf("gen: LatentSpace needs R > 0, got %v", cfg.R)
+	}
+	points := make([][]float64, cfg.N)
+	for i := range points {
+		p := make([]float64, len(cfg.Lengths))
+		for d, l := range cfg.Lengths {
+			p[d] = r.Float64() * l
+		}
+		points[i] = p
+	}
+	b := graph.NewBuilder(cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		for j := i + 1; j < cfg.N; j++ {
+			d := euclid(points[i], points[j])
+			if r.Bernoulli(ConnectProbability(d, cfg.R, cfg.Alpha)) {
+				b.AddEdge(graph.NodeID(i), graph.NodeID(j))
+			}
+		}
+	}
+	return b.Build(), points, nil
+}
+
+// ConnectProbability evaluates the paper's eq. (11) link function
+// 1/(1+e^{alpha(d-r)}); alpha = +Inf degenerates to the indicator d < r.
+func ConnectProbability(d, r, alpha float64) float64 {
+	if math.IsInf(alpha, 1) {
+		if d < r {
+			return 1
+		}
+		return 0
+	}
+	return 1 / (1 + math.Exp(alpha*(d-r)))
+}
+
+func euclid(a, b []float64) float64 {
+	s := 0.0
+	for d := range a {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+// PaperLatentConfig returns the exact configuration of the paper's Fig 10
+// and §IV-B simulation: D = 2, box [0,4]×[0,5], r = 0.7, hard threshold.
+func PaperLatentConfig(n int) LatentSpaceConfig {
+	return LatentSpaceConfig{
+		N:       n,
+		Lengths: []float64{4, 5},
+		R:       0.7,
+		Alpha:   math.Inf(1),
+	}
+}

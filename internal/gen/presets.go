@@ -1,0 +1,103 @@
+package gen
+
+import (
+	"rewire/internal/graph"
+	"rewire/internal/rng"
+)
+
+// The presets below are the offline stand-ins for the datasets of the
+// paper's Table I and the Google Plus crawl. Node/edge targets match the
+// paper's reported (post reciprocal-conversion) numbers; structure comes from
+// the Social model (see its doc comment and DESIGN.md §2).
+//
+// The Small variants are 1/10-scale versions for tests and quick benches.
+
+// presetConfig applies the calibration shared by every dataset stand-in:
+// tight near-clique pockets (Slack ≈ 1.05) with few gateways and a two-
+// region macro structure, the regime documented for the real snapshots
+// (high clustering, unexpectedly low conductance [18]).
+func presetConfig(nodes, edges int) SocialConfig {
+	return SocialConfig{
+		Nodes:       nodes,
+		TargetEdges: edges,
+		Gamma:       2.4,
+		Slack:       1.05,
+	}
+}
+
+func mustSocial(cfg SocialConfig, seed uint64) *graph.Graph {
+	g, err := Social(cfg, rng.New(seed))
+	if err != nil {
+		panic(err) // static configurations; cannot fail
+	}
+	return g
+}
+
+// EpinionsLike matches Table I's Epinions row: 26,588 nodes, ~100,120 edges.
+func EpinionsLike(seed uint64) *graph.Graph {
+	return mustSocial(presetConfig(26588, 100120), seed)
+}
+
+// SlashdotALike matches Table I's Slashdot A row: 70,068 nodes, ~428,714
+// edges.
+func SlashdotALike(seed uint64) *graph.Graph {
+	return mustSocial(presetConfig(70068, 428714), seed)
+}
+
+// SlashdotBLike matches Table I's Slashdot B row: 70,999 nodes, ~436,453
+// edges.
+func SlashdotBLike(seed uint64) *graph.Graph {
+	return mustSocial(presetConfig(70999, 436453), seed)
+}
+
+// GooglePlusLike stands in for the live Google Plus graph: sized at the
+// paper's 240,276 accessed users with a mean degree of ~12.
+func GooglePlusLike(seed uint64) *graph.Graph {
+	return mustSocial(presetConfig(240276, 1441656), seed)
+}
+
+// EpinionsLikeSmall is a 1/10-scale Epinions for tests.
+func EpinionsLikeSmall(seed uint64) *graph.Graph {
+	return mustSocial(presetConfig(2659, 10012), seed)
+}
+
+// SlashdotLikeSmall is a 1/10-scale Slashdot for tests.
+func SlashdotLikeSmall(seed uint64) *graph.Graph {
+	return mustSocial(presetConfig(7007, 42871), seed)
+}
+
+// GooglePlusLikeSmall is a scaled-down Google Plus for tests.
+func GooglePlusLikeSmall(seed uint64) *graph.Graph {
+	return mustSocial(presetConfig(24028, 144166), seed)
+}
+
+// DirectedTrust builds a directed "trust" graph whose reciprocal conversion
+// recovers mutual, exercising the paper's §V-A.2 preparation path: every
+// edge of mutual becomes a mutual arc pair, and extraArcs additional one-way
+// arcs are sprinkled on top (these disappear under Reciprocal()).
+func DirectedTrust(mutual *graph.Graph, extraArcs int, r *rng.Rand) *graph.Digraph {
+	n := mutual.NumNodes()
+	b := graph.NewDigraphBuilder(n)
+	for _, e := range mutual.Edges() {
+		b.AddArc(e.U, e.V)
+		b.AddArc(e.V, e.U)
+	}
+	oneWay := make(map[graph.EdgeKey]struct{}, extraArcs)
+	for added := 0; added < extraArcs; {
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		if u == v || mutual.HasEdge(u, v) {
+			continue
+		}
+		// Never emit both directions of the same one-way pair: that would
+		// survive Reciprocal() and corrupt the mutual graph.
+		k := graph.KeyOf(u, v)
+		if _, ok := oneWay[k]; ok {
+			continue
+		}
+		oneWay[k] = struct{}{}
+		b.AddArc(u, v)
+		added++
+	}
+	return b.Build()
+}

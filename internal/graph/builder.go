@@ -1,0 +1,83 @@
+package graph
+
+import "sort"
+
+// Builder accumulates undirected edges and produces an immutable Graph.
+// Duplicate edges and self-loops are silently dropped, matching how the paper
+// treats its datasets as simple graphs.
+type Builder struct {
+	n   int
+	adj [][]NodeID
+}
+
+// NewBuilder returns a builder for a graph over n nodes (IDs 0..n-1).
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, adj: make([][]NodeID, n)}
+}
+
+// NumNodes returns the node count the builder was created with.
+func (b *Builder) NumNodes() int { return b.n }
+
+// AddEdge records the undirected edge (u, v). Self-loops are ignored.
+// Out-of-range endpoints panic: generator bugs should fail loudly.
+func (b *Builder) AddEdge(u, v NodeID) {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		panic("graph: AddEdge endpoint out of range")
+	}
+	if u == v {
+		return
+	}
+	b.adj[u] = append(b.adj[u], v)
+	b.adj[v] = append(b.adj[v], u)
+}
+
+// HasEdgeSlow reports whether (u, v) has been added. Linear scan; intended
+// for generators that need occasional duplicate checks while building sparse
+// graphs.
+func (b *Builder) HasEdgeSlow(u, v NodeID) bool {
+	a, c := b.adj[u], b.adj[v]
+	if len(c) < len(a) {
+		a, v = c, u
+	}
+	for _, x := range a {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the current (pre-dedup) degree of u.
+func (b *Builder) Degree(u NodeID) int { return len(b.adj[u]) }
+
+// Build finalizes the graph: sorts adjacency, removes duplicates, counts
+// edges. The builder must not be reused afterwards.
+func (b *Builder) Build() *Graph {
+	total := 0
+	for u := range b.adj {
+		lst := b.adj[u]
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		w := 0
+		for i, v := range lst {
+			if i > 0 && lst[i-1] == v && w > 0 && lst[w-1] == v {
+				continue
+			}
+			lst[w] = v
+			w++
+		}
+		b.adj[u] = lst[:w]
+		total += w
+	}
+	g := &Graph{adj: b.adj, edges: total / 2}
+	b.adj = nil
+	return g
+}
+
+// FromEdges builds a graph over n nodes from an edge list.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}

@@ -1,0 +1,48 @@
+package graph
+
+import "rewire/internal/rng"
+
+// LocalClustering returns the local clustering coefficient of u: the
+// fraction of u's neighbor pairs that are themselves connected. Nodes of
+// degree < 2 return 0.
+func (g *Graph) LocalClustering(u NodeID) float64 {
+	nbrs := g.adj[u]
+	d := len(nbrs)
+	if d < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if g.HasEdge(nbrs[i], nbrs[j]) {
+				links++
+			}
+		}
+	}
+	return float64(links) / float64(d*(d-1)/2)
+}
+
+// AverageClustering estimates the mean local clustering coefficient over a
+// uniform sample of up to `samples` nodes (all nodes when samples >= N).
+// High values signal the dense local pockets the paper's removal criterion
+// exploits.
+func (g *Graph) AverageClustering(samples int, r *rng.Rand) float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	var idx []int
+	if samples >= n {
+		idx = make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+	} else {
+		idx = rng.SampleWithoutReplacement(r, n, samples)
+	}
+	total := 0.0
+	for _, u := range idx {
+		total += g.LocalClustering(NodeID(u))
+	}
+	return total / float64(len(idx))
+}

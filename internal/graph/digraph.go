@@ -1,0 +1,99 @@
+package graph
+
+import "sort"
+
+// Digraph is a simple directed graph. It exists so the reproduction can
+// exercise the paper's dataset preparation: "for a real-world directed graph
+// (e.g., Epinions), we first convert it to an undirected one by only keeping
+// edges that appear in both directions" (§V-A.2).
+type Digraph struct {
+	out   [][]NodeID
+	edges int
+}
+
+// DigraphBuilder accumulates directed arcs.
+type DigraphBuilder struct {
+	n   int
+	out [][]NodeID
+}
+
+// NewDigraphBuilder returns a builder over n nodes.
+func NewDigraphBuilder(n int) *DigraphBuilder {
+	return &DigraphBuilder{n: n, out: make([][]NodeID, n)}
+}
+
+// AddArc records the directed arc u -> v. Self-loops are dropped.
+func (b *DigraphBuilder) AddArc(u, v NodeID) {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		panic("graph: AddArc endpoint out of range")
+	}
+	if u == v {
+		return
+	}
+	b.out[u] = append(b.out[u], v)
+}
+
+// Build finalizes the digraph (sorted, deduplicated out-lists).
+func (b *DigraphBuilder) Build() *Digraph {
+	total := 0
+	for u := range b.out {
+		lst := b.out[u]
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		w := 0
+		for i, v := range lst {
+			if i > 0 && w > 0 && lst[w-1] == v {
+				continue
+			}
+			lst[w] = v
+			w++
+		}
+		b.out[u] = lst[:w]
+		total += w
+	}
+	d := &Digraph{out: b.out, edges: total}
+	b.out = nil
+	return d
+}
+
+// NumNodes returns the node count.
+func (d *Digraph) NumNodes() int { return len(d.out) }
+
+// NumArcs returns the number of directed arcs.
+func (d *Digraph) NumArcs() int { return d.edges }
+
+// OutNeighbors returns u's sorted out-neighbor list (shared, do not modify).
+func (d *Digraph) OutNeighbors(u NodeID) []NodeID { return d.out[u] }
+
+// HasArc reports whether the arc u -> v exists.
+func (d *Digraph) HasArc(u, v NodeID) bool {
+	return ContainsSorted(d.out[u], v)
+}
+
+// Reciprocal converts the digraph to an undirected graph keeping only edges
+// present in both directions, exactly as the paper prepares Epinions. The
+// paper notes this guarantees a random walk over the result can also be
+// performed over the original directed graph by verifying the inverse edge.
+func (d *Digraph) Reciprocal() *Graph {
+	b := NewBuilder(len(d.out))
+	for u := range d.out {
+		for _, v := range d.out[u] {
+			if NodeID(u) < v && d.HasArc(v, NodeID(u)) {
+				b.AddEdge(NodeID(u), v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Underlying converts the digraph to an undirected graph keeping every arc as
+// an undirected edge (the union conversion), for comparison against
+// Reciprocal in tests and ablations.
+func (d *Digraph) Underlying() *Graph {
+	b := NewBuilder(len(d.out))
+	for u := range d.out {
+		for _, v := range d.out[u] {
+			b.AddEdge(NodeID(u), v)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDigraphBasics(t *testing.T) {
+	b := NewDigraphBuilder(4)
+	b.AddArc(0, 1)
+	b.AddArc(1, 0)
+	b.AddArc(1, 2)
+	b.AddArc(2, 2) // self loop dropped
+	b.AddArc(0, 1) // duplicate dropped
+	d := b.Build()
+	if d.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d", d.NumNodes())
+	}
+	if d.NumArcs() != 3 {
+		t.Fatalf("NumArcs = %d, want 3", d.NumArcs())
+	}
+	if !d.HasArc(0, 1) || !d.HasArc(1, 0) || !d.HasArc(1, 2) {
+		t.Error("missing expected arcs")
+	}
+	if d.HasArc(2, 1) {
+		t.Error("unexpected arc 2->1")
+	}
+}
+
+func TestReciprocalKeepsMutualEdgesOnly(t *testing.T) {
+	b := NewDigraphBuilder(4)
+	b.AddArc(0, 1)
+	b.AddArc(1, 0) // mutual -> kept
+	b.AddArc(1, 2) // one-way -> dropped
+	b.AddArc(2, 3)
+	b.AddArc(3, 2) // mutual -> kept
+	g := b.Build().Reciprocal()
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 3) || g.HasEdge(1, 2) {
+		t.Errorf("edges = %v", g.Edges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnderlyingKeepsAllArcs(t *testing.T) {
+	b := NewDigraphBuilder(3)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	g := b.Build().Underlying()
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestReciprocalWalkGuarantee(t *testing.T) {
+	// Paper §V-A.2: any edge of the reciprocal graph can be traversed in the
+	// original digraph in both directions.
+	b := NewDigraphBuilder(5)
+	arcs := [][2]NodeID{{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 3}, {4, 2}, {2, 4}}
+	for _, a := range arcs {
+		b.AddArc(a[0], a[1])
+	}
+	d := b.Build()
+	g := d.Reciprocal()
+	for _, e := range g.Edges() {
+		if !d.HasArc(e.U, e.V) || !d.HasArc(e.V, e.U) {
+			t.Errorf("edge %v not mutual in digraph", e)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 1}, {1, 2}, {3, 4}, {0, 4}})
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d nodes %d edges, want %d/%d",
+			got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if !got.HasEdge(e.U, e.V) {
+			t.Errorf("missing edge %v after round trip", e)
+		}
+	}
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	in := "# header\n\n0 1\n1\t2\n# trailing\n"
+	g, err := ReadEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListNodeHint(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d, want 10 (hint)", g.NumNodes())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",                      // one field
+		"a b\n",                    // non-numeric
+		"0 x\n",                    // second field bad
+		"-1 2\n",                   // negative
+		"0 99999999999999999999\n", // overflow
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), 0); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package graph provides the undirected-graph substrate used by every other
+// component: a compact adjacency representation with sorted neighbor lists,
+// builders, directed graphs with reciprocal-edge conversion (the paper's
+// §V-A.2 dataset preparation), traversals, connectivity, effective diameter,
+// and edge-list serialization.
+//
+// Node identifiers are dense int32 values in [0, N). Sorted neighbor slices
+// make membership tests O(log d) and common-neighborhood intersection — the
+// heart of the paper's Theorem 3 removal criterion — O(d_u + d_v).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. IDs are dense: a graph with N nodes uses IDs
+// 0..N-1.
+type NodeID = int32
+
+// Edge is an undirected edge. By convention U <= V in normalized form.
+type Edge struct {
+	U, V NodeID
+}
+
+// Canon returns the edge with endpoints ordered so that U <= V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// EdgeKey packs a canonical edge into a single comparable 64-bit key, used by
+// the overlay's delta sets.
+type EdgeKey uint64
+
+// Key returns the canonical packed key of e.
+func (e Edge) Key() EdgeKey {
+	c := e.Canon()
+	return EdgeKey(uint64(uint32(c.U))<<32 | uint64(uint32(c.V)))
+}
+
+// KeyOf returns the packed canonical key for the edge (u, v).
+func KeyOf(u, v NodeID) EdgeKey { return Edge{u, v}.Key() }
+
+// Nodes returns the endpoints of a key in canonical (U <= V) order.
+func (k EdgeKey) Nodes() (NodeID, NodeID) {
+	return NodeID(uint32(k >> 32)), NodeID(uint32(k))
+}
+
+// Graph is an immutable simple undirected graph. Build one with a Builder or
+// a generator from internal/gen. Neighbor lists are sorted ascending and free
+// of duplicates and self-loops.
+type Graph struct {
+	adj   [][]NodeID
+	edges int
+}
+
+// NewFromAdjacency wraps pre-built adjacency lists. The caller warrants that
+// the lists are symmetric; they are sorted and deduplicated defensively and
+// self-loops are dropped. Mostly useful in tests; prefer Builder elsewhere.
+func NewFromAdjacency(adj [][]NodeID) *Graph {
+	g := &Graph{adj: adj}
+	total := 0
+	for u := range adj {
+		lst := adj[u]
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		w := 0
+		for i, v := range lst {
+			if v == NodeID(u) {
+				continue // self-loop
+			}
+			if i > 0 && w > 0 && lst[w-1] == v {
+				continue // duplicate
+			}
+			lst[w] = v
+			w++
+		}
+		g.adj[u] = lst[:w]
+		total += w
+	}
+	g.edges = total / 2
+	return g
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// Neighbors returns u's sorted neighbor list. The returned slice is shared
+// with the graph and must not be modified.
+func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[u] }
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if int(u) >= len(g.adj) || int(v) >= len(g.adj) || u < 0 || v < 0 {
+		return false
+	}
+	lst := g.adj[u]
+	if len(g.adj[v]) < len(lst) {
+		lst, v = g.adj[v], u
+	}
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= v })
+	return i < len(lst) && lst[i] == v
+}
+
+// Edges returns all edges in canonical order (U <= V), sorted.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.edges)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if NodeID(u) < v {
+				out = append(out, Edge{NodeID(u), v})
+			}
+		}
+	}
+	return out
+}
+
+// CommonNeighbors returns the sorted intersection of the neighbor lists of u
+// and v: |N(u) ∩ N(v)| drives the paper's removal criterion. The result is
+// freshly allocated.
+func (g *Graph) CommonNeighbors(u, v NodeID) []NodeID {
+	return IntersectSorted(g.adj[u], g.adj[v])
+}
+
+// CountCommonNeighbors returns |N(u) ∩ N(v)| without allocating.
+func (g *Graph) CountCommonNeighbors(u, v NodeID) int {
+	return CountIntersectSorted(g.adj[u], g.adj[v])
+}
+
+// IntersectSorted intersects two ascending NodeID slices.
+func IntersectSorted(a, b []NodeID) []NodeID {
+	var out []NodeID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// CountIntersectSorted counts the intersection size of two ascending slices.
+func CountIntersectSorted(a, b []NodeID) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// ContainsSorted reports whether x occurs in the ascending slice lst.
+func ContainsSorted(lst []NodeID, x NodeID) bool {
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= x })
+	return i < len(lst) && lst[i] == x
+}
+
+// DegreeSum returns the sum of all degrees (2 * NumEdges for consistency
+// checking).
+func (g *Graph) DegreeSum() int {
+	s := 0
+	for u := range g.adj {
+		s += len(g.adj[u])
+	}
+	return s
+}
+
+// MinDegree returns the smallest degree, or 0 for an empty graph.
+func (g *Graph) MinDegree() int {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	m := len(g.adj[0])
+	for _, l := range g.adj[1:] {
+		if len(l) < m {
+			m = len(l)
+		}
+	}
+	return m
+}
+
+// MaxDegree returns the largest degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for _, l := range g.adj {
+		if len(l) > m {
+			m = len(l)
+		}
+	}
+	return m
+}
+
+// AverageDegree returns mean degree, the paper's default aggregate query for
+// topological datasets.
+func (g *Graph) AverageDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return float64(g.DegreeSum()) / float64(len(g.adj))
+}
+
+// DegreeHistogram returns counts[d] = number of nodes of degree d.
+func (g *Graph) DegreeHistogram() []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for _, l := range g.adj {
+		counts[len(l)]++
+	}
+	return counts
+}
+
+// Clone returns a deep copy whose adjacency can be mutated independently
+// (used by the offline overlay builder).
+func (g *Graph) Clone() *Graph {
+	adj := make([][]NodeID, len(g.adj))
+	for u := range g.adj {
+		adj[u] = append([]NodeID(nil), g.adj[u]...)
+	}
+	return &Graph{adj: adj, edges: g.edges}
+}
+
+// Validate checks structural invariants (sortedness, symmetry, no self loops,
+// no duplicates, edge-count consistency). Generators call it in tests.
+func (g *Graph) Validate() error {
+	total := 0
+	for u := range g.adj {
+		lst := g.adj[u]
+		for i, v := range lst {
+			if v < 0 || int(v) >= len(g.adj) {
+				return fmt.Errorf("graph: node %d has out-of-range neighbor %d", u, v)
+			}
+			if v == NodeID(u) {
+				return fmt.Errorf("graph: self-loop at node %d", u)
+			}
+			if i > 0 && lst[i-1] >= v {
+				return fmt.Errorf("graph: adjacency of node %d not strictly ascending at index %d", u, i)
+			}
+			if !ContainsSorted(g.adj[v], NodeID(u)) {
+				return fmt.Errorf("graph: edge (%d,%d) not symmetric", u, v)
+			}
+		}
+		total += len(lst)
+	}
+	if total != 2*g.edges {
+		return fmt.Errorf("graph: edge count %d inconsistent with degree sum %d", g.edges, total)
+	}
+	return nil
+}

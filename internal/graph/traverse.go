@@ -1,0 +1,127 @@
+package graph
+
+// BFS runs a breadth-first search from src and returns dist[v] = hop distance
+// from src, with -1 for unreachable nodes.
+func (g *Graph) BFS(src NodeID) []int32 {
+	dist := make([]int32, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 0, 64)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ConnectedComponents labels each node with a component index and returns the
+// labels plus the number of components.
+func (g *Graph) ConnectedComponents() (labels []int32, count int) {
+	labels = make([]int32, len(g.adj))
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []NodeID
+	for s := range g.adj {
+		if labels[s] >= 0 {
+			continue
+		}
+		labels[s] = int32(count)
+		queue = append(queue[:0], NodeID(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if labels[v] < 0 {
+					labels[v] = int32(count)
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// IsConnected reports whether the graph is connected (the empty graph is
+// considered connected).
+func (g *Graph) IsConnected() bool {
+	if len(g.adj) == 0 {
+		return true
+	}
+	_, c := g.ConnectedComponents()
+	return c == 1
+}
+
+// LargestComponent returns the induced subgraph of the largest connected
+// component along with a mapping newID -> oldID. Generators use it when a
+// sparse random model (e.g. the latent-space graphs of Fig 10) yields
+// stragglers.
+func (g *Graph) LargestComponent() (*Graph, []NodeID) {
+	labels, count := g.ConnectedComponents()
+	if count <= 1 {
+		ids := make([]NodeID, len(g.adj))
+		for i := range ids {
+			ids[i] = NodeID(i)
+		}
+		return g, ids
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	return g.InducedSubgraph(func(u NodeID) bool { return labels[u] == int32(best) })
+}
+
+// InducedSubgraph returns the subgraph induced by nodes satisfying keep,
+// with nodes renumbered densely, plus the newID -> oldID mapping.
+func (g *Graph) InducedSubgraph(keep func(NodeID) bool) (*Graph, []NodeID) {
+	remap := make([]NodeID, len(g.adj))
+	var ids []NodeID
+	for u := range g.adj {
+		if keep(NodeID(u)) {
+			remap[u] = NodeID(len(ids))
+			ids = append(ids, NodeID(u))
+		} else {
+			remap[u] = -1
+		}
+	}
+	b := NewBuilder(len(ids))
+	for newU, oldU := range ids {
+		for _, v := range g.adj[oldU] {
+			if remap[v] >= 0 && oldU < v {
+				b.AddEdge(NodeID(newU), remap[v])
+			}
+		}
+	}
+	return b.Build(), ids
+}
+
+// Eccentricity returns the maximum finite BFS distance from src (0 if src is
+// isolated).
+func (g *Graph) Eccentricity(src NodeID) int {
+	dist := g.BFS(src)
+	m := int32(0)
+	for _, d := range dist {
+		if d > m {
+			m = d
+		}
+	}
+	return int(m)
+}

@@ -1,0 +1,185 @@
+// Package latent implements the theory side of the paper's §IV-B analysis
+// on the latent space graph model (Theorem 6): the probability that an edge
+// of a hard-threshold latent-space graph is provably removable, and the
+// resulting lower bound on the conductance gain E[Φ(G*)] ≥ Φ(G)/(1 - P).
+//
+// With the paper's parameters (D = 2, box [0,4]×[0,5], r = 0.7) the bound
+// evaluates to ≈ 1.052·Φ(G), the constant quoted in eq. (13).
+package latent
+
+import (
+	"errors"
+	"math"
+
+	"rewire/internal/gen"
+	"rewire/internal/graph"
+	"rewire/internal/rng"
+)
+
+// SphereVolume returns the volume of a D-dimensional ball of radius r,
+// π^{D/2} r^D / Γ(D/2 + 1) — the paper's V(r).
+func SphereVolume(d int, r float64) float64 {
+	if d < 0 || r < 0 {
+		return math.NaN()
+	}
+	return math.Pow(math.Pi, float64(d)/2) * math.Pow(r, float64(d)) /
+		math.Gamma(float64(d)/2+1)
+}
+
+// ThresholdD0 returns the distance threshold below which an edge of a
+// hard-threshold (α = ∞) latent-space graph is provably removable. The
+// paper's eq. (26) and final integral (30) disagree dimensionally; we follow
+// the integral actually evaluated for eq. (13): d0² = 0.75 r², i.e.
+// d0 = (√3/2) r. (The eq. 26 form 2r(1-(1/3)^{1/D}) gives 0.845r at D=2 —
+// within 2.5% of the value used here.)
+func ThresholdD0(r float64) float64 { return math.Sqrt(0.75) * r }
+
+// diffDensity is the density of |X - Y| for X, Y uniform on [0, L]:
+// f(z) = 2(L - z)/L² on [0, L].
+func diffDensity(z, l float64) float64 {
+	if z < 0 || z > l {
+		return 0
+	}
+	return 2 * (l - z) / (l * l)
+}
+
+// diffCDF is the CDF of |X - Y| for X, Y uniform on [0, L]:
+// F(t) = t(2L - t)/L² on [0, L].
+func diffCDF(t, l float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= l {
+		return 1
+	}
+	return t * (2*l - t) / (l * l)
+}
+
+// RemovalProbability computes P(d ≤ d0) for two independent uniform points
+// in the box [0,a]×[0,b]: the probability mass of the coordinate-difference
+// vector inside the disc z1² + z2² ≤ d0² (the paper's eq. 27/30). The outer
+// integral runs over z1 with the inner integral available in closed form, so
+// a composite Simpson rule converges fast.
+func RemovalProbability(d0, a, b float64) (float64, error) {
+	if d0 < 0 || a <= 0 || b <= 0 {
+		return 0, errors.New("latent: RemovalProbability needs d0 >= 0 and positive box sides")
+	}
+	if d0 == 0 {
+		return 0, nil
+	}
+	upper := math.Min(d0, a)
+	f := func(z1 float64) float64 {
+		z2max := math.Sqrt(math.Max(0, d0*d0-z1*z1))
+		return diffDensity(z1, a) * diffCDF(z2max, b)
+	}
+	return simpson(f, 0, upper, 4096), nil
+}
+
+// simpson integrates f over [lo, hi] with n (even) panels.
+func simpson(f func(float64) float64, lo, hi float64, n int) float64 {
+	if n%2 == 1 {
+		n++
+	}
+	h := (hi - lo) / float64(n)
+	sum := f(lo) + f(hi)
+	for i := 1; i < n; i++ {
+		x := lo + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// ConductanceGainBound returns the paper's eq. (24) lower bound on
+// E[Φ(G*)]/Φ(G) for the hard-threshold latent space model on [0,a]×[0,b]
+// with radius r: 1/(1 - P(d ≤ d0)).
+func ConductanceGainBound(r, a, b float64) (float64, error) {
+	p, err := RemovalProbability(ThresholdD0(r), a, b)
+	if err != nil {
+		return 0, err
+	}
+	if p >= 1 {
+		return math.Inf(1), nil
+	}
+	return 1 / (1 - p), nil
+}
+
+// PaperGainBound evaluates the bound at the paper's parameters
+// (r = 0.7, a = 4, b = 5); eq. (13) quotes 1.052.
+func PaperGainBound() float64 {
+	g, err := ConductanceGainBound(0.7, 4, 5)
+	if err != nil {
+		panic(err) // static arguments; cannot fail
+	}
+	return g
+}
+
+// ExpectedRemovableEdgesBound returns the eq. (23) lower bound on the
+// expected number of removable edges, |E| · P(d ≤ d0).
+func ExpectedRemovableEdgesBound(edges int, r, a, b float64) (float64, error) {
+	p, err := RemovalProbability(ThresholdD0(r), a, b)
+	if err != nil {
+		return 0, err
+	}
+	return float64(edges) * p, nil
+}
+
+// MonteCarloRemovalProbability estimates P(d ≤ d0) by sampling point pairs
+// uniformly from the box — the paper's "20000 points experiment".
+func MonteCarloRemovalProbability(d0, a, b float64, pairs int, r *rng.Rand) float64 {
+	hits := 0
+	for i := 0; i < pairs; i++ {
+		z1 := math.Abs(r.Float64()*a - r.Float64()*a)
+		z2 := math.Abs(r.Float64()*b - r.Float64()*b)
+		if z1*z1+z2*z2 <= d0*d0 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(pairs)
+}
+
+// GeometricallyRemovableEdges counts edges of a hard-threshold latent-space
+// graph whose endpoint distance is below d0 — the geometric certificate
+// behind Theorem 6. points must be the coordinates the graph was built from.
+func GeometricallyRemovableEdges(g *graph.Graph, points [][]float64, d0 float64) int {
+	count := 0
+	for _, e := range g.Edges() {
+		if euclid(points[e.U], points[e.V]) <= d0 {
+			count++
+		}
+	}
+	return count
+}
+
+func euclid(a, b []float64) float64 {
+	s := 0.0
+	for d := range a {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+// CombinatoriallyRemovableEdges counts edges satisfying the conservative
+// neighborhood-overlap certificate the paper derives Theorem 6 from:
+// |N(i) ∩ N(j)| ≥ |N(i) ∪ N(j)| - 2.
+func CombinatoriallyRemovableEdges(g *graph.Graph) int {
+	count := 0
+	for _, e := range g.Edges() {
+		common := g.CountCommonNeighbors(e.U, e.V)
+		union := g.Degree(e.U) + g.Degree(e.V) - common - 2 // exclude i, j themselves
+		if common >= union-2 {
+			count++
+		}
+	}
+	return count
+}
+
+// PaperLatentGraph generates the paper's latent-space configuration at the
+// given size, returning the graph and its coordinates.
+func PaperLatentGraph(n int, r *rng.Rand) (*graph.Graph, [][]float64, error) {
+	return gen.LatentSpace(gen.PaperLatentConfig(n), r)
+}

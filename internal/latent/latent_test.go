@@ -1,0 +1,153 @@
+package latent
+
+import (
+	"math"
+	"testing"
+
+	"rewire/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSphereVolume(t *testing.T) {
+	cases := []struct {
+		d    int
+		r    float64
+		want float64
+	}{
+		{1, 1, 2},               // segment length
+		{2, 1, math.Pi},         // disc area
+		{3, 1, 4 * math.Pi / 3}, // ball volume
+		{2, 0.7, math.Pi * 0.49},
+	}
+	for _, c := range cases {
+		if got := SphereVolume(c.d, c.r); !almost(got, c.want, 1e-12) {
+			t.Errorf("V_%d(%v) = %v, want %v", c.d, c.r, got, c.want)
+		}
+	}
+	if !math.IsNaN(SphereVolume(-1, 1)) || !math.IsNaN(SphereVolume(2, -1)) {
+		t.Error("invalid arguments should give NaN")
+	}
+}
+
+func TestThresholdD0(t *testing.T) {
+	if got := ThresholdD0(0.7); !almost(got, 0.7*math.Sqrt(0.75), 1e-12) {
+		t.Errorf("d0 = %v", got)
+	}
+}
+
+func TestDiffDistribution(t *testing.T) {
+	// Density integrates to 1; CDF endpoints.
+	integral := simpson(func(z float64) float64 { return diffDensity(z, 4) }, 0, 4, 1000)
+	if !almost(integral, 1, 1e-9) {
+		t.Errorf("density mass = %v", integral)
+	}
+	if diffCDF(0, 5) != 0 || diffCDF(5, 5) != 1 || diffCDF(9, 5) != 1 {
+		t.Error("CDF endpoints wrong")
+	}
+	// CDF is the integral of the density.
+	at := 1.3
+	got := simpson(func(z float64) float64 { return diffDensity(z, 5) }, 0, at, 1000)
+	if !almost(got, diffCDF(at, 5), 1e-9) {
+		t.Errorf("CDF mismatch: %v vs %v", got, diffCDF(at, 5))
+	}
+}
+
+func TestPaperGainBoundMatchesEq13(t *testing.T) {
+	// The headline number: E[Φ(G*)] >= 1.052 Φ(G).
+	got := PaperGainBound()
+	if math.Abs(got-1.052) > 0.003 {
+		t.Errorf("gain bound = %v, want ≈1.052 (paper eq. 13)", got)
+	}
+}
+
+func TestRemovalProbabilityAgainstMonteCarlo(t *testing.T) {
+	d0 := ThresholdD0(0.7)
+	p, err := RemovalProbability(d0, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := MonteCarloRemovalProbability(d0, 4, 5, 2000000, rng.New(1))
+	if math.Abs(p-mc) > 0.002 {
+		t.Errorf("numeric %v vs Monte Carlo %v", p, mc)
+	}
+}
+
+func TestRemovalProbabilityEdgeCases(t *testing.T) {
+	if p, err := RemovalProbability(0, 4, 5); err != nil || p != 0 {
+		t.Errorf("d0=0: %v, %v", p, err)
+	}
+	if _, err := RemovalProbability(1, 0, 5); err == nil {
+		t.Error("zero box side should error")
+	}
+	if _, err := RemovalProbability(-1, 4, 5); err == nil {
+		t.Error("negative d0 should error")
+	}
+	// Huge d0 covers (almost) all mass.
+	p, err := RemovalProbability(100, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p, 1, 1e-6) {
+		t.Errorf("huge d0 probability = %v, want 1", p)
+	}
+}
+
+func TestRemovalProbabilityMonotoneInD0(t *testing.T) {
+	prev := 0.0
+	for d0 := 0.1; d0 <= 2; d0 += 0.1 {
+		p, err := RemovalProbability(d0, 4, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev-1e-12 {
+			t.Fatalf("P not monotone at d0=%v: %v < %v", d0, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestExpectedRemovableEdgesBoundHoldsEmpirically(t *testing.T) {
+	// Theorem 6 (eq. 23): E[# removable] >= |E| * P(d <= d0). The geometric
+	// certificate count must beat the bound on average.
+	const trials = 10
+	totalEdges, totalGeom := 0, 0
+	for seed := uint64(1); seed <= trials; seed++ {
+		r := rng.New(seed)
+		g, pts, err := PaperLatentGraph(300, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalEdges += g.NumEdges()
+		totalGeom += GeometricallyRemovableEdges(g, pts, ThresholdD0(0.7))
+	}
+	bound, err := ExpectedRemovableEdgesBound(totalEdges, 0.7, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge-conditional probability P(d<=d0 | d<r) exceeds the unconditional
+	// P(d<=d0) by construction, so the certificate count must clear the
+	// bound comfortably.
+	if float64(totalGeom) < bound {
+		t.Errorf("geometric removable %d below bound %v", totalGeom, bound)
+	}
+}
+
+func TestGeometricImpliesClosePairs(t *testing.T) {
+	r := rng.New(3)
+	g, pts, err := PaperLatentGraph(200, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := ThresholdD0(0.7)
+	geom := GeometricallyRemovableEdges(g, pts, d0)
+	// Every counted edge must indeed be shorter than d0 < r (all edges are
+	// < r by the hard threshold); counts must be within [0, |E|].
+	if geom < 0 || geom > g.NumEdges() {
+		t.Fatalf("geometric count %d out of range", geom)
+	}
+	comb := CombinatoriallyRemovableEdges(g)
+	if comb < 0 || comb > g.NumEdges() {
+		t.Fatalf("combinatorial count %d out of range", comb)
+	}
+}

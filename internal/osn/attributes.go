@@ -1,0 +1,100 @@
+package osn
+
+import (
+	"rewire/internal/graph"
+	"rewire/internal/rng"
+)
+
+// UserAttrs carries the per-user content a query exposes alongside the
+// neighbor list. The fields mirror the aggregates the paper estimates:
+// average degree (from Neighbors), average self-description length
+// (Fig 11c), and generic numeric attributes for AVG/COUNT queries with
+// selection conditions (§I-A).
+type UserAttrs struct {
+	Age     int // years
+	DescLen int // characters of self-description, the Fig 11(c) attribute
+	Posts   int // published posts
+}
+
+// Attributes is a column store of user attributes.
+type Attributes struct {
+	age     []uint8
+	descLen []int32
+	posts   []int32
+}
+
+// SynthesizeAttributes generates plausible attributes for every node of g:
+//
+//   - Age: 13 + a right-skewed lognormal, clamped to [13, 90].
+//   - DescLen: lognormal with a mild positive degree correlation (active,
+//     well-connected users write longer bios), clamped to [0, 5000].
+//   - Posts: lognormal scaled by degree (connectivity correlates with
+//     activity), so COUNT/AVG queries with predicates have signal.
+//
+// Deterministic given the generator.
+func SynthesizeAttributes(g *graph.Graph, r *rng.Rand) *Attributes {
+	n := g.NumNodes()
+	a := &Attributes{
+		age:     make([]uint8, n),
+		descLen: make([]int32, n),
+		posts:   make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		age := 13 + int(r.LogNormal(2.9, 0.45))
+		if age > 90 {
+			age = 90
+		}
+		a.age[v] = uint8(age)
+
+		deg := float64(g.Degree(graph.NodeID(v)))
+		dl := int(r.LogNormal(3.6, 1.0) * (1 + deg/50))
+		if dl > 5000 {
+			dl = 5000
+		}
+		a.descLen[v] = int32(dl)
+
+		p := int(r.LogNormal(2.0, 1.2) * (1 + deg/20))
+		if p > 100000 {
+			p = 100000
+		}
+		a.posts[v] = int32(p)
+	}
+	return a
+}
+
+// Of returns the attributes of user v.
+func (a *Attributes) Of(v graph.NodeID) UserAttrs {
+	return UserAttrs{
+		Age:     int(a.age[v]),
+		DescLen: int(a.descLen[v]),
+		Posts:   int(a.posts[v]),
+	}
+}
+
+// Len returns the number of users covered.
+func (a *Attributes) Len() int { return len(a.age) }
+
+// MeanDescLen returns the ground-truth average self-description length —
+// what the Fig 11(c) estimators chase.
+func (a *Attributes) MeanDescLen() float64 {
+	if len(a.descLen) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, d := range a.descLen {
+		s += float64(d)
+	}
+	return s / float64(len(a.descLen))
+}
+
+// MeanAge returns the ground-truth average age.
+func (a *Attributes) MeanAge() float64 {
+	if len(a.age) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range a.age {
+		s += float64(x)
+	}
+	return s / float64(len(a.age))
+}

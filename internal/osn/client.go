@@ -1,0 +1,88 @@
+package osn
+
+import "rewire/internal/graph"
+
+// Client is the third-party sampler's view of the service. It implements the
+// paper's query-cost accounting (§II-B): "we consider the number of unique
+// queries one has to issue for the sampling process, as any duplicate query
+// can be answered from local cache without consuming the query limit".
+// Every response is cached forever (the paper's Redis/Mongo local store),
+// and cached degree knowledge powers the Theorem 5 extended removal
+// criterion.
+type Client struct {
+	svc    *Service
+	cache  map[graph.NodeID]Response
+	unique int64
+}
+
+// NewClient wraps a service with an empty cache.
+func NewClient(svc *Service) *Client {
+	return &Client{svc: svc, cache: make(map[graph.NodeID]Response)}
+}
+
+// Query returns q(v), from cache when possible. Only cache misses reach the
+// service and count toward UniqueQueries.
+func (c *Client) Query(v graph.NodeID) (Response, error) {
+	if resp, ok := c.cache[v]; ok {
+		return resp, nil
+	}
+	resp, err := c.svc.Query(v)
+	if err != nil {
+		return Response{}, err
+	}
+	c.cache[v] = resp
+	c.unique++
+	return resp, nil
+}
+
+// Neighbors returns v's neighbor list (shared slice, do not modify),
+// querying on a cache miss. Unknown IDs return nil — walkers only ever hold
+// IDs the interface handed them, so this is a programming-error guard, not a
+// control path.
+func (c *Client) Neighbors(v graph.NodeID) []graph.NodeID {
+	resp, err := c.Query(v)
+	if err != nil {
+		return nil
+	}
+	return resp.Neighbors
+}
+
+// Degree returns v's degree, querying on a cache miss (0 for unknown IDs).
+func (c *Client) Degree(v graph.NodeID) int {
+	return len(c.Neighbors(v))
+}
+
+// Cached reports whether v's response is already in the local store.
+func (c *Client) Cached(v graph.NodeID) bool {
+	_, ok := c.cache[v]
+	return ok
+}
+
+// CachedDegree returns v's degree if — and only if — it is already known
+// locally, without issuing a query. This is the "historical information ...
+// without paying any query cost" of the paper's Theorem 5 extension.
+func (c *Client) CachedDegree(v graph.NodeID) (int, bool) {
+	resp, ok := c.cache[v]
+	if !ok {
+		return 0, false
+	}
+	return len(resp.Neighbors), true
+}
+
+// CachedAttrs returns v's attributes if already known locally.
+func (c *Client) CachedAttrs(v graph.NodeID) (UserAttrs, bool) {
+	resp, ok := c.cache[v]
+	if !ok {
+		return UserAttrs{}, false
+	}
+	return resp.Attrs, true
+}
+
+// UniqueQueries returns the paper's query-cost metric.
+func (c *Client) UniqueQueries() int64 { return c.unique }
+
+// NumUsers exposes the provider-published user count.
+func (c *Client) NumUsers() int { return c.svc.NumUsers() }
+
+// CacheSize returns the number of distinct users stored locally.
+func (c *Client) CacheSize() int { return len(c.cache) }

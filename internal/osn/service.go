@@ -1,0 +1,129 @@
+// Package osn simulates the restrictive web interface of an online social
+// network, the access model the whole paper is built around (§II-A): the only
+// operation is the individual-user query
+//
+//	q(v): SELECT * FROM D WHERE USER-ID = v
+//
+// which returns v's published attributes and the list of users connected to
+// v. Real providers rate-limit these queries (the paper cites 600/600s for
+// Facebook and 350/hour for Twitter); the Service reproduces that with a
+// simulated clock, and the Client reproduces the paper's cost accounting —
+// only *unique* queries count, duplicates are served from a local cache.
+package osn
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rewire/internal/graph"
+)
+
+// ErrNoSuchUser is returned for queries outside the user-ID space.
+var ErrNoSuchUser = errors.New("osn: no such user")
+
+// Response is the answer to one individual-user query.
+type Response struct {
+	User      graph.NodeID
+	Neighbors []graph.NodeID // shared slice; callers must not modify
+	Attrs     UserAttrs
+}
+
+// Degree returns the number of connections in the response.
+func (r Response) Degree() int { return len(r.Neighbors) }
+
+// Config controls the simulated provider limits.
+type Config struct {
+	// QueriesPerWindow caps queries per Window; 0 disables rate limiting.
+	QueriesPerWindow int
+	// Window is the rate-limit window length (e.g. 600s).
+	Window time.Duration
+	// PerQueryLatency is the simulated round-trip time of one web request.
+	PerQueryLatency time.Duration
+}
+
+// FacebookLimits mirrors the paper's cited Facebook quota: 600 open-graph
+// queries per 600 seconds.
+func FacebookLimits() Config {
+	return Config{QueriesPerWindow: 600, Window: 600 * time.Second, PerQueryLatency: 50 * time.Millisecond}
+}
+
+// TwitterLimits mirrors the paper's cited Twitter quota: 350 requests/hour.
+func TwitterLimits() Config {
+	return Config{QueriesPerWindow: 350, Window: time.Hour, PerQueryLatency: 50 * time.Millisecond}
+}
+
+// Service owns a social graph and serves individual-user queries under the
+// configured limits, advancing a simulated clock: when the current window's
+// quota is exhausted the next query "sleeps" (jumps the clock) to the next
+// window, exactly like a polite third-party crawler.
+//
+// Service is not safe for concurrent use; each experiment drives one walker
+// against one service.
+type Service struct {
+	g     *graph.Graph
+	attrs *Attributes
+	cfg   Config
+
+	now          time.Duration
+	windowStart  time.Duration
+	usedInWindow int
+
+	totalQueries int64
+	totalWaits   int64
+}
+
+// NewService creates a service over g with optional attributes (may be nil
+// for purely topological datasets, like the paper's local snapshots).
+func NewService(g *graph.Graph, attrs *Attributes, cfg Config) *Service {
+	return &Service{g: g, attrs: attrs, cfg: cfg}
+}
+
+// NumUsers exposes the total user count. The paper notes providers publish
+// this for advertising purposes; Random Jump needs it for its ID space.
+func (s *Service) NumUsers() int { return s.g.NumNodes() }
+
+// Query serves q(v), charging simulated latency and honoring the rate limit.
+func (s *Service) Query(v graph.NodeID) (Response, error) {
+	if v < 0 || int(v) >= s.g.NumNodes() {
+		return Response{}, fmt.Errorf("%w: id %d", ErrNoSuchUser, v)
+	}
+	s.admitOne()
+	resp := Response{User: v, Neighbors: s.g.Neighbors(v)}
+	if s.attrs != nil {
+		resp.Attrs = s.attrs.Of(v)
+	}
+	return resp, nil
+}
+
+// admitOne advances the simulated clock through latency and, if needed, a
+// rate-limit wait.
+func (s *Service) admitOne() {
+	if s.cfg.QueriesPerWindow > 0 {
+		if s.now-s.windowStart >= s.cfg.Window {
+			// Window expired naturally.
+			s.windowStart = s.now
+			s.usedInWindow = 0
+		}
+		if s.usedInWindow >= s.cfg.QueriesPerWindow {
+			// Sleep until the window resets.
+			s.now = s.windowStart + s.cfg.Window
+			s.windowStart = s.now
+			s.usedInWindow = 0
+			s.totalWaits++
+		}
+		s.usedInWindow++
+	}
+	s.now += s.cfg.PerQueryLatency
+	s.totalQueries++
+}
+
+// TotalQueries returns the number of queries served (including duplicates —
+// the Client is what deduplicates).
+func (s *Service) TotalQueries() int64 { return s.totalQueries }
+
+// RateLimitWaits returns how many times a caller had to sit out a window.
+func (s *Service) RateLimitWaits() int64 { return s.totalWaits }
+
+// SimulatedElapsed returns the simulated wall-clock time consumed so far.
+func (s *Service) SimulatedElapsed() time.Duration { return s.now }

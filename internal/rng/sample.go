@@ -1,0 +1,111 @@
+package rng
+
+import (
+	"math"
+	"sort"
+)
+
+// Choice returns a uniformly random element of xs. It panics on an empty
+// slice.
+func Choice[T any](r *Rand, xs []T) T {
+	if len(xs) == 0 {
+		panic("rng: Choice on empty slice")
+	}
+	return xs[r.Intn(len(xs))]
+}
+
+// WeightedChoice returns an index in [0, len(weights)) drawn with probability
+// proportional to weights[i]. Negative weights are treated as zero. It panics
+// if the total weight is not positive.
+func WeightedChoice(r *Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("rng: WeightedChoice with non-positive total weight")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	// Floating-point slop: return the last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	panic("rng: unreachable")
+}
+
+// SampleWithoutReplacement returns k distinct uniform values from [0, n) in
+// ascending order. It panics if k > n or k < 0.
+//
+// For small k relative to n it uses Floyd's algorithm (O(k) expected); for
+// large k it uses a partial Fisher–Yates.
+func SampleWithoutReplacement(r *Rand, n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: SampleWithoutReplacement with k out of range")
+	}
+	if k == 0 {
+		return nil
+	}
+	if k*4 <= n {
+		chosen := make(map[int]struct{}, k)
+		out := make([]int, 0, k)
+		// Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; if taken,
+		// take j itself. Yields a uniform k-subset.
+		for j := n - k; j < n; j++ {
+			t := r.Intn(j + 1)
+			if _, ok := chosen[t]; ok {
+				t = j
+			}
+			chosen[t] = struct{}{}
+			out = append(out, t)
+		}
+		sort.Ints(out)
+		return out
+	}
+	p := r.Perm(n)[:k]
+	out := make([]int, k)
+	copy(out, p)
+	sort.Ints(out)
+	return out
+}
+
+// Zipf draws integers in [0, n) with P(i) proportional to 1/(i+1)^s using the
+// inverse-CDF over a precomputed table. Build once, draw many times.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s > 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// Draw returns the next Zipf-distributed index.
+func (z *Zipf) Draw(r *Rand) int {
+	x := r.Float64()
+	return sort.SearchFloat64s(z.cdf, x)
+}

@@ -1,0 +1,239 @@
+package spectral
+
+import (
+	"errors"
+	"math"
+
+	"rewire/internal/graph"
+)
+
+// NormalizedAdjacency returns the symmetric normalized adjacency
+// N = D^{-1/2} A D^{-1/2} of g as a dense matrix. N is similar to the simple
+// random walk transition matrix P = D^{-1} A, so they share eigenvalues and
+// N's eigenvectors map to P's by the D^{-1/2} scaling. Rows/columns of
+// isolated nodes are zero.
+func NormalizedAdjacency(g *graph.Graph) *Dense {
+	n := g.NumNodes()
+	m := NewDense(n)
+	for u := 0; u < n; u++ {
+		du := g.Degree(graph.NodeID(u))
+		if du == 0 {
+			continue
+		}
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			dv := g.Degree(v)
+			m.Set(u, int(v), 1/math.Sqrt(float64(du)*float64(dv)))
+		}
+	}
+	return m
+}
+
+// TransitionMatrix returns the dense simple-random-walk transition matrix
+// P[u][v] = 1/deg(u) for v in N(u) (Definition 1 of the paper).
+func TransitionMatrix(g *graph.Graph) *Dense {
+	n := g.NumNodes()
+	m := NewDense(n)
+	for u := 0; u < n; u++ {
+		du := g.Degree(graph.NodeID(u))
+		if du == 0 {
+			continue
+		}
+		p := 1 / float64(du)
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			m.Set(u, int(v), p)
+		}
+	}
+	return m
+}
+
+// WalkSpectrum returns the eigenvalues of the simple random walk on g in
+// ascending order (computed from the symmetric similarity transform).
+func WalkSpectrum(g *graph.Graph) ([]float64, error) {
+	vals, _, err := EigenSym(NormalizedAdjacency(g))
+	return vals, err
+}
+
+// SLEM returns the second largest eigenvalue modulus of the simple random
+// walk on g: max(|λ_2|, |λ_n|) with λ_1 = 1 excluded. The paper's footnote
+// 12 defines the theoretical mixing time from this quantity. Requires at
+// least 2 nodes.
+func SLEM(g *graph.Graph) (float64, error) {
+	vals, err := WalkSpectrum(g)
+	if err != nil {
+		return 0, err
+	}
+	return slemOf(vals)
+}
+
+func slemOf(ascending []float64) (float64, error) {
+	n := len(ascending)
+	if n < 2 {
+		return 0, errors.New("spectral: SLEM needs at least 2 nodes")
+	}
+	return math.Max(math.Abs(ascending[0]), math.Abs(ascending[n-2])), nil
+}
+
+// LazySLEM returns the SLEM of the lazy walk (P+I)/2, whose spectrum is
+// non-negative; useful when the underlying chain is (nearly) bipartite.
+func LazySLEM(g *graph.Graph) (float64, error) {
+	vals, err := WalkSpectrum(g)
+	if err != nil {
+		return 0, err
+	}
+	n := len(vals)
+	if n < 2 {
+		return 0, errors.New("spectral: SLEM needs at least 2 nodes")
+	}
+	return (1 + vals[n-2]) / 2, nil
+}
+
+// MixingTimeSLEM converts a SLEM μ into the paper's theoretical mixing time
+// Θ(1/log(1/μ)) (footnote 12). Returns +Inf when μ >= 1 (disconnected or
+// exactly bipartite chains never mix).
+func MixingTimeSLEM(mu float64) float64 {
+	// Eigensolver round-off can return μ = 1 - O(ε) for chains whose true
+	// SLEM is exactly 1 (bipartite, disconnected); treat those as non-mixing.
+	if mu >= 1-1e-12 {
+		return math.Inf(1)
+	}
+	if mu <= 0 {
+		return 0
+	}
+	return 1 / math.Log(1/mu)
+}
+
+// GraphMixingTime computes MixingTimeSLEM(SLEM(g)) in one call.
+func GraphMixingTime(g *graph.Graph) (float64, error) {
+	mu, err := SLEM(g)
+	if err != nil {
+		return 0, err
+	}
+	return MixingTimeSLEM(mu), nil
+}
+
+// PaperMixingCoefficient returns ln(100)/Φ², the coefficient the paper
+// multiplies by log(c/ε) in its running example (§II-D). The constant was
+// reverse-engineered from the paper's printed values: Φ=0.010 → 46050.5,
+// Φ=0.012 → 31979.1, Φ=0.018 → 14212.3, Φ=0.035 → 3758.1, Φ=0.053 → 1638.3,
+// Φ=0.105 → 416.6 — all equal to ln(100)/Φ² to the printed precision (it is
+// the small-Φ limit of -log(1-Φ²)^{-1} scaled by ln 100).
+func PaperMixingCoefficient(phi float64) float64 {
+	if phi <= 0 {
+		return math.Inf(1)
+	}
+	return math.Log(100) / (phi * phi)
+}
+
+// MixingBoundEq6 returns the exact eq. (6) lower-bound coefficient
+// -1/log(1-Φ²); the mixing time bound is this times log(c/ε) with
+// c = 2|E|/min_v k_v.
+func MixingBoundEq6(phi float64) float64 {
+	if phi <= 0 || phi >= 1 {
+		return math.Inf(1)
+	}
+	return -1 / math.Log(1-phi*phi)
+}
+
+// RelPointwiseDistance computes Δ(t) of Definition 2: the maximum over edges
+// (u,v) (v ∈ N(u)) of |P^t_{uv} - π(v)| / π(v), with π(v) = deg(v)/2|E|.
+// P^t is evaluated through the eigendecomposition of the normalized
+// adjacency, so calls with many different t values are cheap after the
+// initial O(n³) factorization. Use NewDistanceCalculator for repeated
+// queries.
+func RelPointwiseDistance(g *graph.Graph, t int) (float64, error) {
+	dc, err := NewDistanceCalculator(g)
+	if err != nil {
+		return 0, err
+	}
+	return dc.Delta(t), nil
+}
+
+// DistanceCalculator caches the eigendecomposition needed by Δ(t).
+type DistanceCalculator struct {
+	g       *graph.Graph
+	vals    []float64
+	vecs    *Dense
+	pi      []float64
+	sqrtDeg []float64
+}
+
+// NewDistanceCalculator factorizes the walk on g once.
+func NewDistanceCalculator(g *graph.Graph) (*DistanceCalculator, error) {
+	if g.NumEdges() == 0 {
+		return nil, errors.New("spectral: distance calculator needs edges")
+	}
+	vals, vecs, err := EigenSym(NormalizedAdjacency(g))
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	dc := &DistanceCalculator{g: g, vals: vals, vecs: vecs,
+		pi: make([]float64, n), sqrtDeg: make([]float64, n)}
+	twoM := float64(2 * g.NumEdges())
+	for u := 0; u < n; u++ {
+		d := float64(g.Degree(graph.NodeID(u)))
+		dc.pi[u] = d / twoM
+		dc.sqrtDeg[u] = math.Sqrt(d)
+	}
+	return dc, nil
+}
+
+// Delta returns Δ(t).
+func (dc *DistanceCalculator) Delta(t int) float64 {
+	n := dc.g.NumNodes()
+	lt := make([]float64, n)
+	for k, l := range dc.vals {
+		lt[k] = math.Pow(l, float64(t))
+	}
+	maxD := 0.0
+	for u := 0; u < n; u++ {
+		if dc.g.Degree(graph.NodeID(u)) == 0 {
+			continue
+		}
+		for _, v := range dc.g.Neighbors(graph.NodeID(u)) {
+			// P^t_{uv} = sqrt(d_v/d_u) Σ_k λ_k^t q_{uk} q_{vk}
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += lt[k] * dc.vecs.At(u, k) * dc.vecs.At(int(v), k)
+			}
+			ptuv := s * dc.sqrtDeg[v] / dc.sqrtDeg[u]
+			d := math.Abs(ptuv-dc.pi[v]) / dc.pi[v]
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return maxD
+}
+
+// MixingTimeExact returns the smallest t <= tMax with Δ(t) <= eps, or
+// (tMax, false) if the threshold is not reached. It exploits the typical
+// monotone decay of Δ(t) with an exponential gallop followed by binary
+// search; graphs with strong negative eigenvalues may oscillate, in which
+// case the result is the first power-of-two bracket refinement.
+func MixingTimeExact(g *graph.Graph, eps float64, tMax int) (int, bool, error) {
+	dc, err := NewDistanceCalculator(g)
+	if err != nil {
+		return 0, false, err
+	}
+	if dc.Delta(0) <= eps {
+		return 0, true, nil
+	}
+	hi := 1
+	for hi <= tMax && dc.Delta(hi) > eps {
+		hi *= 2
+	}
+	if hi > tMax {
+		return tMax, false, nil
+	}
+	lo := hi / 2 // Δ(lo) > eps, Δ(hi) <= eps
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if dc.Delta(mid) <= eps {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true, nil
+}

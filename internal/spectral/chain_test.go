@@ -1,0 +1,232 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"rewire/internal/graph"
+)
+
+func completeGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := graph.NodeID(0); int(i) < n; i++ {
+		for j := i + 1; int(j) < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+func cycleGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	return b.Build()
+}
+
+func barbell(k int) *graph.Graph {
+	b := graph.NewBuilder(2 * k)
+	for side := 0; side < 2; side++ {
+		off := graph.NodeID(side * k)
+		for i := graph.NodeID(0); int(i) < k; i++ {
+			for j := i + 1; int(j) < k; j++ {
+				b.AddEdge(off+i, off+j)
+			}
+		}
+	}
+	b.AddEdge(0, graph.NodeID(k)) // the single cross-cutting edge
+	return b.Build()
+}
+
+func TestWalkSpectrumComplete(t *testing.T) {
+	// SRW on K_n has eigenvalues 1 (once) and -1/(n-1) (n-1 times).
+	for _, n := range []int{3, 5, 8} {
+		vals, err := WalkSpectrum(completeGraph(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(vals[n-1], 1, 1e-10) {
+			t.Errorf("K%d: top eigenvalue %v, want 1", n, vals[n-1])
+		}
+		for i := 0; i < n-1; i++ {
+			if !almost(vals[i], -1/float64(n-1), 1e-10) {
+				t.Errorf("K%d: vals[%d] = %v, want %v", n, i, vals[i], -1/float64(n-1))
+			}
+		}
+	}
+}
+
+func TestWalkSpectrumCycle(t *testing.T) {
+	// SRW on C_n has eigenvalues cos(2πk/n).
+	n := 7
+	vals, err := WalkSpectrum(cycleGraph(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []float64
+	for k := 0; k < n; k++ {
+		want = append(want, math.Cos(2*math.Pi*float64(k)/float64(n)))
+	}
+	// Sort want ascending.
+	for i := range want {
+		for j := i + 1; j < len(want); j++ {
+			if want[j] < want[i] {
+				want[i], want[j] = want[j], want[i]
+			}
+		}
+	}
+	for i := range want {
+		if !almost(vals[i], want[i], 1e-10) {
+			t.Errorf("C%d: vals[%d] = %v, want %v", n, i, vals[i], want[i])
+		}
+	}
+}
+
+func TestSLEMComplete(t *testing.T) {
+	mu, err := SLEM(completeGraph(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(mu, 0.25, 1e-10) {
+		t.Errorf("SLEM(K5) = %v, want 0.25", mu)
+	}
+}
+
+func TestSLEMBipartiteIsOne(t *testing.T) {
+	// K2 (a single edge) is bipartite: eigenvalues ±1, SLEM = 1, so the
+	// non-lazy chain never mixes and mixing time is +Inf.
+	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	mu, err := SLEM(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(mu, 1, 1e-12) {
+		t.Errorf("SLEM(K2) = %v, want 1", mu)
+	}
+	if mt := MixingTimeSLEM(mu); !math.IsInf(mt, 1) {
+		t.Errorf("mixing time = %v, want +Inf", mt)
+	}
+	lazy, err := LazySLEM(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(lazy, 0, 1e-12) {
+		t.Errorf("LazySLEM(K2) = %v, want 0", lazy)
+	}
+}
+
+func TestMixingTimeSLEMEdgeCases(t *testing.T) {
+	if got := MixingTimeSLEM(0); got != 0 {
+		t.Errorf("mu=0: %v", got)
+	}
+	if got := MixingTimeSLEM(0.5); !almost(got, 1/math.Log(2), 1e-12) {
+		t.Errorf("mu=0.5: %v", got)
+	}
+}
+
+func TestBarbellSlowerThanComplete(t *testing.T) {
+	tBar, err := GraphMixingTime(barbell(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tK, err := GraphMixingTime(completeGraph(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tBar < 50*tK {
+		t.Errorf("barbell mixing %v should dwarf complete-graph mixing %v", tBar, tK)
+	}
+}
+
+func TestPaperMixingCoefficientMatchesPrintedValues(t *testing.T) {
+	// The paper's §II-D running-example numbers.
+	cases := []struct {
+		phi  float64
+		want float64
+	}{
+		{0.010, 46050.5}, {0.012, 31979.1}, {0.018, 14212.3},
+		{0.035, 3758.1}, {0.053, 1638.3}, {0.105, 416.6},
+	}
+	for _, c := range cases {
+		got := PaperMixingCoefficient(c.phi)
+		if math.Abs(got-c.want)/c.want > 0.01 {
+			t.Errorf("coefficient(%v) = %v, want ~%v", c.phi, got, c.want)
+		}
+	}
+}
+
+func TestMixingBoundEq6(t *testing.T) {
+	// For small phi, -1/log(1-phi^2) ~ 1/phi^2.
+	phi := 0.01
+	got := MixingBoundEq6(phi)
+	if math.Abs(got-1/(phi*phi))/got > 0.01 {
+		t.Errorf("eq6 bound = %v, want ~%v", got, 1/(phi*phi))
+	}
+	if !math.IsInf(MixingBoundEq6(0), 1) || !math.IsInf(MixingBoundEq6(1), 1) {
+		t.Error("degenerate phi should give +Inf")
+	}
+}
+
+func TestRelPointwiseDistanceDecay(t *testing.T) {
+	g := completeGraph(6)
+	d1, err := RelPointwiseDistance(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d10, err := RelPointwiseDistance(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d10 >= d1 {
+		t.Errorf("Δ(10)=%v not < Δ(1)=%v", d10, d1)
+	}
+	if d10 > 1e-3 {
+		t.Errorf("complete graph should mix almost instantly, Δ(10)=%v", d10)
+	}
+}
+
+func TestMixingTimeExact(t *testing.T) {
+	g := completeGraph(8)
+	tm, ok, err := MixingTimeExact(g, 0.01, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("complete graph did not reach threshold")
+	}
+	if tm < 1 || tm > 10 {
+		t.Errorf("K8 mixing time = %d, want small", tm)
+	}
+	// Barbell needs far longer.
+	tb, ok, err := MixingTimeExact(barbell(6), 0.01, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("barbell did not reach threshold")
+	}
+	if tb <= 10*tm {
+		t.Errorf("barbell mixing %d vs K8 %d: expected much slower", tb, tm)
+	}
+}
+
+func TestTransitionMatrixRowStochastic(t *testing.T) {
+	g := barbell(4)
+	p := TransitionMatrix(g)
+	for i := 0; i < p.N; i++ {
+		s := 0.0
+		for j := 0; j < p.N; j++ {
+			s += p.At(i, j)
+		}
+		if !almost(s, 1, 1e-12) {
+			t.Errorf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestDistanceCalculatorRejectsEdgeless(t *testing.T) {
+	if _, err := NewDistanceCalculator(graph.FromEdges(3, nil)); err == nil {
+		t.Fatal("expected error for edgeless graph")
+	}
+}

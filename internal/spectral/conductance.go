@@ -1,0 +1,270 @@
+package spectral
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"rewire/internal/graph"
+)
+
+// The conductance code implements the paper's Definition 3, which counts
+// *edges touching* each side in the denominator:
+//
+//	Φ(G) = min_S cut(S) / min(|{e : e ∩ S ≠ ∅}|, |{e : e ∩ S̄ ≠ ∅}|)
+//
+// (so the 22-node barbell gives 1/56 ≈ 0.018, as printed in the paper),
+// rather than the more common degree-volume denominator.
+
+// CutStats describes one side of a cut under the paper's definition.
+type CutStats struct {
+	Cut          int // edges crossing the cut
+	TouchingS    int // edges with at least one endpoint in S
+	TouchingSbar int // edges with at least one endpoint in S̄
+}
+
+// Phi returns the paper's φ(S) ratio; +Inf for degenerate cuts.
+func (c CutStats) Phi() float64 {
+	den := c.TouchingS
+	if c.TouchingSbar < den {
+		den = c.TouchingSbar
+	}
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return float64(c.Cut) / float64(den)
+}
+
+// CutOf computes CutStats for the cut defined by inS.
+func CutOf(g *graph.Graph, inS []bool) CutStats {
+	if len(inS) != g.NumNodes() {
+		panic("spectral: CutOf membership length mismatch")
+	}
+	var cut, internalS, internalSbar int
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			if graph.NodeID(u) >= v {
+				continue
+			}
+			su, sv := inS[u], inS[v]
+			switch {
+			case su && sv:
+				internalS++
+			case !su && !sv:
+				internalSbar++
+			default:
+				cut++
+			}
+		}
+	}
+	return CutStats{Cut: cut, TouchingS: internalS + cut, TouchingSbar: internalSbar + cut}
+}
+
+// ConductanceOfCut returns φ(S) for the given membership vector.
+func ConductanceOfCut(g *graph.Graph, inS []bool) float64 {
+	return CutOf(g, inS).Phi()
+}
+
+// MaxExactNodes bounds the brute-force conductance search: 2^(n-1) subsets.
+const MaxExactNodes = 26
+
+// ExactConductance enumerates every cut of g (node 0 pinned to S̄ to skip
+// complements) and returns the minimum φ(S) along with one optimal S as a
+// membership vector. Subsets are visited in Gray-code order so each step
+// updates the cut statistics incrementally in O(deg). It refuses graphs with
+// more than MaxExactNodes nodes — finding the optimal cut is NP-hard in
+// general (the paper's Theorem 1).
+func ExactConductance(g *graph.Graph) (float64, []bool, error) {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0, nil, errors.New("spectral: conductance needs at least 2 nodes")
+	}
+	if n > MaxExactNodes {
+		return 0, nil, errors.New("spectral: graph too large for exact conductance")
+	}
+	if g.NumEdges() == 0 {
+		return 0, nil, errors.New("spectral: conductance of edgeless graph undefined")
+	}
+	m := g.NumEdges()
+	// Nodes 1..n-1 toggle through Gray code; node 0 stays in S̄.
+	inS := make([]bool, n)
+	// linksS[v] = number of v's neighbors currently in S.
+	linksS := make([]int, n)
+	cut, internalS := 0, 0
+
+	best := math.Inf(1)
+	var bestSet []bool
+	free := n - 1
+	total := uint64(1) << uint(free)
+	prevGray := uint64(0)
+	for i := uint64(1); i < total; i++ {
+		gray := i ^ (i >> 1)
+		changed := gray ^ prevGray
+		prevGray = gray
+		// changed has exactly one bit set: node index bit+1 flips.
+		bit := 0
+		for changed>>uint(bit+1) != 0 {
+			bit++
+		}
+		v := graph.NodeID(bit + 1)
+		l := linksS[v] // v's neighbors currently in S (v is never its own neighbor)
+		deg := g.Degree(v)
+		if !inS[v] {
+			inS[v] = true
+			internalS += l
+			cut += deg - 2*l
+			for _, w := range g.Neighbors(v) {
+				linksS[w]++
+			}
+		} else {
+			inS[v] = false
+			internalS -= l
+			cut -= deg - 2*l
+			for _, w := range g.Neighbors(v) {
+				linksS[w]--
+			}
+		}
+		internalSbar := m - internalS - cut
+		touchS := internalS + cut
+		touchSbar := internalSbar + cut
+		den := touchS
+		if touchSbar < den {
+			den = touchSbar
+		}
+		if den == 0 {
+			continue
+		}
+		phi := float64(cut) / float64(den)
+		if phi < best {
+			best = phi
+			bestSet = append(bestSet[:0], inS...)
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, nil, errors.New("spectral: no valid cut found")
+	}
+	out := make([]bool, n)
+	copy(out, bestSet)
+	return best, out, nil
+}
+
+// CrossCuttingEdges returns the set of edges that are cross-cutting per the
+// paper's Definition 4: edges crossing some optimal-conductance cut. It
+// enumerates all optimal cuts (exact, small graphs only) and collects every
+// edge that crosses at least one of them.
+func CrossCuttingEdges(g *graph.Graph) (map[graph.EdgeKey]bool, error) {
+	n := g.NumNodes()
+	if n < 2 || n > MaxExactNodes {
+		return nil, errors.New("spectral: CrossCuttingEdges needs 2..26 nodes")
+	}
+	phiStar, _, err := ExactConductance(g)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[graph.EdgeKey]bool)
+	inS := make([]bool, n)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == n {
+			cs := CutOf(g, inS)
+			if phi := cs.Phi(); !math.IsInf(phi, 1) && phi <= phiStar+1e-12 {
+				for _, e := range g.Edges() {
+					if inS[e.U] != inS[e.V] {
+						out[e.Key()] = true
+					}
+				}
+			}
+			return
+		}
+		inS[v] = false
+		rec(v + 1)
+		if v > 0 { // pin node 0 to S̄
+			inS[v] = true
+			rec(v + 1)
+			inS[v] = false
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+// SweepCutConductance sorts nodes by score and sweeps prefixes, returning
+// the best paper-definition conductance found and its membership vector.
+// With the D^{-1/2}-scaled second eigenvector as the score this is the
+// classic Cheeger sweep; it upper-bounds the true conductance.
+func SweepCutConductance(g *graph.Graph, score []float64) (float64, []bool) {
+	n := g.NumNodes()
+	if len(score) != n {
+		panic("spectral: SweepCutConductance score length mismatch")
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Sort ascending by score.
+	sortByScore(order, score)
+
+	m := g.NumEdges()
+	inS := make([]bool, n)
+	cut, internalS := 0, 0
+	best := math.Inf(1)
+	bestPrefix := -1
+	for i, u := range order[:n-1] { // leave at least one node in S̄
+		l := 0
+		for _, w := range g.Neighbors(graph.NodeID(u)) {
+			if inS[w] {
+				l++
+			}
+		}
+		inS[u] = true
+		internalS += l
+		cut += g.Degree(graph.NodeID(u)) - 2*l
+		internalSbar := m - internalS - cut
+		touchS := internalS + cut
+		touchSbar := internalSbar + cut
+		den := touchS
+		if touchSbar < den {
+			den = touchSbar
+		}
+		if den == 0 {
+			continue
+		}
+		if phi := float64(cut) / float64(den); phi < best {
+			best = phi
+			bestPrefix = i
+		}
+	}
+	out := make([]bool, n)
+	for i := 0; i <= bestPrefix; i++ {
+		out[order[i]] = true
+	}
+	return best, out
+}
+
+func sortByScore(order []int, score []float64) {
+	sort.Slice(order, func(a, b int) bool { return score[order[a]] < score[order[b]] })
+}
+
+// SpectralConductance estimates Φ(G) by a sweep cut over the (power-
+// iteration) second eigenvector of the walk. Works on large graphs where
+// exact search is impossible. Returns the conductance estimate (an upper
+// bound on the true Φ) and the cut.
+func SpectralConductance(g *graph.Graph, maxIter int, tol float64) (float64, []bool, error) {
+	if g.NumEdges() == 0 {
+		return 0, nil, errors.New("spectral: conductance of edgeless graph undefined")
+	}
+	_, vec, err := Lambda2(g, maxIter, tol)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Scale to the random-walk eigenvector: x_u = y_u / sqrt(deg u).
+	score := make([]float64, g.NumNodes())
+	for u := range score {
+		d := g.Degree(graph.NodeID(u))
+		if d > 0 {
+			score[u] = vec[u] / math.Sqrt(float64(d))
+		}
+	}
+	phi, cutSet := SweepCutConductance(g, score)
+	return phi, cutSet, nil
+}

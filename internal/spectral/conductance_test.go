@@ -1,0 +1,231 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"rewire/internal/graph"
+	"rewire/internal/rng"
+)
+
+func TestExactConductanceBarbell(t *testing.T) {
+	// The paper's running example: Φ(barbell of two K11) = 1/56 ≈ 0.018.
+	g := barbell(11)
+	if g.NumNodes() != 22 || g.NumEdges() != 111 {
+		t.Fatalf("barbell has %d nodes %d edges, want 22/111", g.NumNodes(), g.NumEdges())
+	}
+	phi, cut, err := ExactConductance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(phi, 1.0/56, 1e-12) {
+		t.Fatalf("Φ = %v, want %v", phi, 1.0/56)
+	}
+	// The optimal cut splits the two cliques.
+	sizeS := 0
+	for _, in := range cut {
+		if in {
+			sizeS++
+		}
+	}
+	if sizeS != 11 {
+		t.Errorf("optimal cut size %d, want 11", sizeS)
+	}
+	if got := ConductanceOfCut(g, cut); !almost(got, phi, 1e-12) {
+		t.Errorf("ConductanceOfCut disagrees: %v vs %v", got, phi)
+	}
+}
+
+func TestExactConductanceComplete(t *testing.T) {
+	// K4: any single node S gives cut 3, touching(S)=3, touching(S̄)=6 → 1.
+	// The 2-2 split gives cut 4, touching 5 and 5 → 0.8, the minimum.
+	phi, _, err := ExactConductance(completeGraph(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(phi, 0.8, 1e-12) {
+		t.Errorf("Φ(K4) = %v, want 0.8", phi)
+	}
+}
+
+func TestExactConductanceDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	phi, _, err := ExactConductance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi != 0 {
+		t.Errorf("disconnected Φ = %v, want 0", phi)
+	}
+}
+
+func TestExactConductanceErrors(t *testing.T) {
+	if _, _, err := ExactConductance(graph.FromEdges(1, nil)); err == nil {
+		t.Error("1 node should error")
+	}
+	if _, _, err := ExactConductance(graph.FromEdges(3, nil)); err == nil {
+		t.Error("edgeless should error")
+	}
+	big := graph.NewBuilder(MaxExactNodes + 1)
+	for i := 0; i < MaxExactNodes; i++ {
+		big.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	if _, _, err := ExactConductance(big.Build()); err == nil {
+		t.Error("oversized graph should error")
+	}
+}
+
+func TestCutOfMatchesBruteForce(t *testing.T) {
+	// Cross-check the incremental Gray-code accounting against the direct
+	// CutOf computation on random graphs and random cuts.
+	r := rng.New(5)
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + r.Intn(6)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Bernoulli(0.4) {
+					b.AddEdge(graph.NodeID(i), graph.NodeID(j))
+				}
+			}
+		}
+		g := b.Build()
+		if g.NumEdges() == 0 {
+			continue
+		}
+		phi, cut, err := ExactConductance(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ConductanceOfCut(g, cut); !almost(got, phi, 1e-12) {
+			t.Fatalf("trial %d: incremental %v vs direct %v", trial, phi, got)
+		}
+		// Exhaustive check that no cut beats phi.
+		for mask := 1; mask < (1<<n)-1; mask++ {
+			inS := make([]bool, n)
+			for i := 0; i < n; i++ {
+				inS[i] = mask&(1<<i) != 0
+			}
+			if got := ConductanceOfCut(g, inS); got < phi-1e-12 {
+				t.Fatalf("trial %d: cut %b has φ %v < Φ %v", trial, mask, got, phi)
+			}
+		}
+	}
+}
+
+func TestCrossCuttingEdgesBarbell(t *testing.T) {
+	g := barbell(5)
+	cc, err := CrossCuttingEdges(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cc) != 1 {
+		t.Fatalf("barbell cross-cutting edges = %d, want 1", len(cc))
+	}
+	if !cc[graph.KeyOf(0, 5)] {
+		t.Errorf("bridge (0,5) not identified as cross-cutting")
+	}
+}
+
+func TestSweepCutConductanceBarbell(t *testing.T) {
+	g := barbell(8)
+	phi, cut, err := SpectralConductance(g, 2000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _, _ := ExactConductance(g)
+	if phi < exact-1e-12 {
+		t.Fatalf("sweep %v below exact %v (impossible)", phi, exact)
+	}
+	// On the barbell the Fiedler sweep finds the optimal cut.
+	if !almost(phi, exact, 1e-9) {
+		t.Errorf("sweep %v, exact %v: expected match on barbell", phi, exact)
+	}
+	sizeS := 0
+	for _, in := range cut {
+		if in {
+			sizeS++
+		}
+	}
+	if sizeS != 8 {
+		t.Errorf("sweep cut size %d, want 8", sizeS)
+	}
+}
+
+func TestSweepNeverBelowExactProperty(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + r.Intn(7)
+		b := graph.NewBuilder(n)
+		// Random connected-ish graph: a path backbone plus random chords.
+		for i := 0; i < n-1; i++ {
+			b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 2; j < n; j++ {
+				if r.Bernoulli(0.25) {
+					b.AddEdge(graph.NodeID(i), graph.NodeID(j))
+				}
+			}
+		}
+		g := b.Build()
+		exact, _, err := ExactConductance(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweep, _, err := SpectralConductance(g, 3000, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sweep < exact-1e-9 {
+			t.Fatalf("trial %d: sweep %v < exact %v", trial, sweep, exact)
+		}
+	}
+}
+
+func TestLambda2MatchesDense(t *testing.T) {
+	for _, g := range []*graph.Graph{barbell(6), completeGraph(9), cycleGraph(11)} {
+		vals, err := WalkSpectrum(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLam2 := vals[len(vals)-2]
+		got, _, err := Lambda2(g, 20000, 1e-13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-wantLam2) > 1e-6 {
+			t.Errorf("Lambda2 = %v, dense λ2 = %v", got, wantLam2)
+		}
+	}
+}
+
+func TestLambda2Errors(t *testing.T) {
+	if _, _, err := Lambda2(graph.FromEdges(1, nil), 10, 1e-6); err == nil {
+		t.Error("1-node should error")
+	}
+	if _, _, err := Lambda2(graph.FromEdges(3, nil), 10, 1e-6); err == nil {
+		t.Error("edgeless should error")
+	}
+}
+
+func BenchmarkExactConductanceBarbell22(b *testing.B) {
+	g := barbell(11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ExactConductance(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigenSym100(b *testing.B) {
+	r := rng.New(1)
+	m := randomSymmetric(r, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EigenSym(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package spectral
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the full eigendecomposition of a symmetric matrix:
+// eigenvalues in ascending order and the matching orthonormal eigenvectors as
+// columns of the returned matrix (vectors.At(i, k) is component i of
+// eigenvector k). The input is not modified.
+//
+// The implementation is the classic two-stage dense symmetric solver:
+// Householder reduction to tridiagonal form (tred2) followed by the
+// implicit-shift QL iteration (tql2), ported from the EISPACK lineage. It is
+// O(n^3) and intended for the paper's small-graph spectra (Fig 10 uses
+// 50-100 nodes; the running example 22).
+func EigenSym(m *Dense) (values []float64, vectors *Dense, err error) {
+	if !m.IsSymmetric(1e-9) {
+		return nil, nil, errors.New("spectral: EigenSym requires a symmetric matrix")
+	}
+	n := m.N
+	if n == 0 {
+		return nil, NewDense(0), nil
+	}
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = m.At(i, j)
+		}
+	}
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(a, d, e)
+	if err := tql2(d, e, a); err != nil {
+		return nil, nil, err
+	}
+	// Sort ascending, permuting eigenvector columns alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return d[idx[x]] < d[idx[y]] })
+	values = make([]float64, n)
+	vectors = NewDense(n)
+	for k, src := range idx {
+		values[k] = d[src]
+		for i := 0; i < n; i++ {
+			vectors.Set(i, k, a[i][src])
+		}
+	}
+	return values, vectors, nil
+}
+
+// tred2 reduces the symmetric matrix a (n×n, overwritten with the
+// accumulated orthogonal transform) to tridiagonal form with diagonal d and
+// subdiagonal e (e[0] unused).
+func tred2(a [][]float64, d, e []float64) {
+	n := len(a)
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		h, scale := 0.0, 0.0
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(a[i][k])
+			}
+			if scale == 0 {
+				e[i] = a[i][l]
+			} else {
+				for k := 0; k <= l; k++ {
+					a[i][k] /= scale
+					h += a[i][k] * a[i][k]
+				}
+				f := a[i][l]
+				g := math.Sqrt(h)
+				if f >= 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				a[i][l] = f - g
+				f = 0
+				for j := 0; j <= l; j++ {
+					a[j][i] = a[i][j] / h
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += a[j][k] * a[i][k]
+					}
+					for k := j + 1; k <= l; k++ {
+						g += a[k][j] * a[i][k]
+					}
+					e[j] = g / h
+					f += e[j] * a[i][j]
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = a[i][j]
+					g = e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						a[j][k] -= f*e[k] + g*a[i][k]
+					}
+				}
+			}
+		} else {
+			e[i] = a[i][l]
+		}
+		d[i] = h
+	}
+	d[0] = 0
+	e[0] = 0
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				g := 0.0
+				for k := 0; k <= l; k++ {
+					g += a[i][k] * a[k][j]
+				}
+				for k := 0; k <= l; k++ {
+					a[k][j] -= g * a[k][i]
+				}
+			}
+		}
+		d[i] = a[i][i]
+		a[i][i] = 1
+		for j := 0; j <= l; j++ {
+			a[j][i] = 0
+			a[i][j] = 0
+		}
+	}
+}
+
+// tql2 finds the eigenvalues (into d) and eigenvectors (accumulated into z,
+// which on entry holds the tred2 transform) of a symmetric tridiagonal
+// matrix with diagonal d and subdiagonal e.
+func tql2(d, e []float64, z [][]float64) error {
+	n := len(d)
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= machEps*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 64 {
+				return errors.New("spectral: tql2 failed to converge")
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+withSign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			underflow := false
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					underflow = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				for k := 0; k < n; k++ {
+					f = z[k][i+1]
+					z[k][i+1] = s*z[k][i] + c*f
+					z[k][i] = c*z[k][i] - s*f
+				}
+			}
+			if underflow {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}
+
+const machEps = 2.220446049250313e-16
+
+func withSign(a, b float64) float64 {
+	if b >= 0 {
+		return math.Abs(a)
+	}
+	return -math.Abs(a)
+}

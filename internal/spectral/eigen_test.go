@@ -1,0 +1,182 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rewire/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEigenSymDiagonal(t *testing.T) {
+	m := NewDense(3)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, 1)
+	m.Set(2, 2, 2)
+	vals, vecs, err := EigenSym(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i, w := range want {
+		if !almost(vals[i], w, 1e-12) {
+			t.Errorf("vals[%d] = %v, want %v", i, vals[i], w)
+		}
+	}
+	// Eigenvectors of a diagonal matrix are (signed) unit vectors.
+	for k := 0; k < 3; k++ {
+		nonZero := 0
+		for i := 0; i < 3; i++ {
+			if math.Abs(vecs.At(i, k)) > 1e-9 {
+				nonZero++
+			}
+		}
+		if nonZero != 1 {
+			t.Errorf("eigenvector %d not axis-aligned", k)
+		}
+	}
+}
+
+func TestEigenSym2x2Known(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	m := NewDense(2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2)
+	vals, vecs, err := EigenSym(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(vals[0], 1, 1e-12) || !almost(vals[1], 3, 1e-12) {
+		t.Fatalf("vals = %v, want [1 3]", vals)
+	}
+	// Check A v = λ v for both.
+	for k := 0; k < 2; k++ {
+		v := []float64{vecs.At(0, k), vecs.At(1, k)}
+		av := []float64{m.At(0, 0)*v[0] + m.At(0, 1)*v[1], m.At(1, 0)*v[0] + m.At(1, 1)*v[1]}
+		for i := range v {
+			if !almost(av[i], vals[k]*v[i], 1e-10) {
+				t.Errorf("A v != λ v for k=%d", k)
+			}
+		}
+	}
+}
+
+func TestEigenSymRejectsAsymmetric(t *testing.T) {
+	m := NewDense(2)
+	m.Set(0, 1, 1)
+	if _, _, err := EigenSym(m); err == nil {
+		t.Fatal("expected error for asymmetric input")
+	}
+}
+
+// randomSymmetric builds a random symmetric matrix with entries in [-1, 1].
+func randomSymmetric(r *rng.Rand, n int) *Dense {
+	m := NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := 2*r.Float64() - 1
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestEigenSymReconstruction(t *testing.T) {
+	r := rng.New(99)
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 20, 40} {
+		m := randomSymmetric(r, n)
+		vals, vecs, err := EigenSym(m)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Orthonormality: V^T V = I.
+		for a := 0; a < n; a++ {
+			for b := a; b < n; b++ {
+				s := 0.0
+				for i := 0; i < n; i++ {
+					s += vecs.At(i, a) * vecs.At(i, b)
+				}
+				want := 0.0
+				if a == b {
+					want = 1
+				}
+				if !almost(s, want, 1e-8) {
+					t.Errorf("n=%d: V^T V [%d,%d] = %v, want %v", n, a, b, s, want)
+				}
+			}
+		}
+		// Reconstruction: V Λ V^T = A.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += vals[k] * vecs.At(i, k) * vecs.At(j, k)
+				}
+				if !almost(s, m.At(i, j), 1e-8) {
+					t.Fatalf("n=%d: reconstruction [%d,%d] = %v, want %v", n, i, j, s, m.At(i, j))
+				}
+			}
+		}
+		// Ascending order.
+		for k := 1; k < n; k++ {
+			if vals[k] < vals[k-1]-1e-12 {
+				t.Errorf("n=%d: eigenvalues not ascending: %v", n, vals)
+			}
+		}
+	}
+}
+
+func TestEigenSymTraceProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + int(seed%9)
+		m := randomSymmetric(r, n)
+		vals, _, err := EigenSym(m)
+		if err != nil {
+			return false
+		}
+		trace, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += m.At(i, i)
+			sum += vals[i]
+		}
+		return almost(trace, sum, 1e-8*math.Max(1, math.Abs(trace)))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVecAndMul(t *testing.T) {
+	m := NewDense(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	dst := make([]float64, 2)
+	m.MulVec(dst, []float64{1, 1})
+	if dst[0] != 3 || dst[1] != 7 {
+		t.Errorf("MulVec = %v", dst)
+	}
+	p := m.Mul(m)
+	want := [][]float64{{7, 10}, {15, 22}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestEigenSymEmpty(t *testing.T) {
+	vals, vecs, err := EigenSym(NewDense(0))
+	if err != nil || len(vals) != 0 || vecs.N != 0 {
+		t.Fatalf("empty eigen: %v %v %v", vals, vecs, err)
+	}
+}

@@ -1,0 +1,120 @@
+package spectral
+
+import (
+	"errors"
+	"math"
+
+	"rewire/internal/graph"
+)
+
+// Lambda2 estimates the second-largest eigenvalue λ2 of the simple random
+// walk on g (equivalently of the normalized adjacency N) together with the
+// corresponding eigenvector of N, using deflated power iteration on the
+// half-shifted operator M = (N + I)/2 whose spectrum lies in [0, 1]. The
+// top eigenvector of N for a connected graph is known in closed form
+// (proportional to sqrt(deg)), so the iteration simply keeps the iterate
+// orthogonal to it. This is the large-graph path: O(maxIter * |E|) time and
+// O(|V|) memory, no dense matrices.
+func Lambda2(g *graph.Graph, maxIter int, tol float64) (float64, []float64, error) {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0, nil, errors.New("spectral: Lambda2 needs at least 2 nodes")
+	}
+	if g.NumEdges() == 0 {
+		return 0, nil, errors.New("spectral: Lambda2 needs edges")
+	}
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	// Top eigenvector of N: v1_u = sqrt(deg u), normalized.
+	v1 := make([]float64, n)
+	norm := 0.0
+	for u := 0; u < n; u++ {
+		v1[u] = math.Sqrt(float64(g.Degree(graph.NodeID(u))))
+		norm += v1[u] * v1[u]
+	}
+	norm = math.Sqrt(norm)
+	for u := range v1 {
+		v1[u] /= norm
+	}
+
+	// Deterministic, well-spread start vector (index-parity wave), then
+	// orthogonalize. A fixed start keeps experiments reproducible.
+	x := make([]float64, n)
+	for u := 0; u < n; u++ {
+		x[u] = math.Sin(float64(u+1) * 0.7)
+	}
+	orthonormalize(x, v1)
+
+	y := make([]float64, n)
+	invSqrtDeg := make([]float64, n)
+	for u := 0; u < n; u++ {
+		d := g.Degree(graph.NodeID(u))
+		if d > 0 {
+			invSqrtDeg[u] = 1 / math.Sqrt(float64(d))
+		}
+	}
+	applyM := func(dst, src []float64) {
+		// dst = (N + I)/2 * src with N = D^{-1/2} A D^{-1/2}.
+		for u := 0; u < n; u++ {
+			s := 0.0
+			for _, v := range g.Neighbors(graph.NodeID(u)) {
+				s += src[v] * invSqrtDeg[v]
+			}
+			dst[u] = 0.5 * (s*invSqrtDeg[u] + src[u])
+		}
+	}
+
+	prev := math.Inf(1)
+	mu := 0.0
+	for iter := 0; iter < maxIter; iter++ {
+		applyM(y, x)
+		// Rayleigh quotient before renormalizing: x is unit length.
+		mu = dot(x, y)
+		orthonormalize(y, v1)
+		x, y = y, x
+		if math.Abs(mu-prev) < tol {
+			break
+		}
+		prev = mu
+	}
+	// λ of N from μ of M = (N+I)/2.
+	lam2 := 2*mu - 1
+	vec := make([]float64, n)
+	copy(vec, x)
+	return lam2, vec, nil
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+// orthonormalize removes the v1 component from x and scales x to unit norm.
+// If x collapses to (numerical) zero it is reseeded deterministically.
+func orthonormalize(x, v1 []float64) {
+	c := dot(x, v1)
+	for i := range x {
+		x[i] -= c * v1[i]
+	}
+	norm := math.Sqrt(dot(x, x))
+	if norm < 1e-300 {
+		for i := range x {
+			x[i] = math.Cos(float64(2*i+1) * 1.3)
+		}
+		c := dot(x, v1)
+		for i := range x {
+			x[i] -= c * v1[i]
+		}
+		norm = math.Sqrt(dot(x, x))
+	}
+	for i := range x {
+		x[i] /= norm
+	}
+}

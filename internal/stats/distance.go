@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// normalize returns p scaled to sum 1; it returns nil when the total mass is
+// not positive or lengths mismatch downstream checks will catch it.
+func normalize(p []float64) []float64 {
+	total := 0.0
+	for _, x := range p {
+		if x > 0 {
+			total += x
+		}
+	}
+	if total <= 0 {
+		return nil
+	}
+	out := make([]float64, len(p))
+	for i, x := range p {
+		if x > 0 {
+			out[i] = x / total
+		}
+	}
+	return out
+}
+
+// KLDivergence returns D_KL(P || Q) over the shared support. Terms where
+// p[i] = 0 contribute zero. Terms where p[i] > 0 but q[i] = 0 are handled
+// with additive smoothing eps (the standard practical fix for finite-sample
+// distributions, which the paper's 20,000-sample measurement also needs);
+// pass eps = 0 to get +Inf in that case instead.
+func KLDivergence(p, q []float64, eps float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: KLDivergence length mismatch")
+	}
+	pp := append([]float64(nil), p...)
+	qq := append([]float64(nil), q...)
+	if eps > 0 {
+		for i := range pp {
+			pp[i] += eps
+			qq[i] += eps
+		}
+	}
+	pn := normalize(pp)
+	qn := normalize(qq)
+	if pn == nil || qn == nil {
+		panic("stats: KLDivergence on zero-mass distribution")
+	}
+	d := 0.0
+	for i := range pn {
+		if pn[i] == 0 {
+			continue
+		}
+		if qn[i] == 0 {
+			return math.Inf(1)
+		}
+		d += pn[i] * math.Log(pn[i]/qn[i])
+	}
+	// Guard against tiny negative values from floating-point cancellation.
+	if d < 0 && d > -1e-12 {
+		d = 0
+	}
+	return d
+}
+
+// SymmetricKL returns the paper's bias measure (§V-A.3):
+// D_KL(P||Psam) + D_KL(Psam||P).
+func SymmetricKL(p, psam []float64, eps float64) float64 {
+	return KLDivergence(p, psam, eps) + KLDivergence(psam, p, eps)
+}
+
+// TotalVariation returns (1/2) Σ |p_i - q_i| after normalization.
+func TotalVariation(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: TotalVariation length mismatch")
+	}
+	pn := normalize(p)
+	qn := normalize(q)
+	if pn == nil || qn == nil {
+		panic("stats: TotalVariation on zero-mass distribution")
+	}
+	d := 0.0
+	for i := range pn {
+		d += math.Abs(pn[i] - qn[i])
+	}
+	return d / 2
+}
+
+// KSDistance returns the Kolmogorov–Smirnov distance between the empirical
+// CDFs of two samples (each sorted internally). It is one of the convergence
+// measures the paper cites when comparing SRW and MHRW.
+func KSDistance(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		panic("stats: KSDistance on empty sample")
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	i, j := 0, 0
+	maxD := 0.0
+	for i < len(as) && j < len(bs) {
+		var x float64
+		if as[i] <= bs[j] {
+			x = as[i]
+		} else {
+			x = bs[j]
+		}
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		d := math.Abs(float64(i)/float64(len(as)) - float64(j)/float64(len(bs)))
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}

@@ -1,0 +1,39 @@
+package stats
+
+// CountHistogram turns per-item visit counts into an empirical probability
+// distribution. It is how the long-run sampling distribution of a walker is
+// measured for the paper's KL-divergence experiments (Fig 8, Fig 9).
+type CountHistogram struct {
+	counts []int64
+	total  int64
+}
+
+// NewCountHistogram creates a histogram over n items.
+func NewCountHistogram(n int) *CountHistogram {
+	return &CountHistogram{counts: make([]int64, n)}
+}
+
+// Observe increments the count of item i.
+func (h *CountHistogram) Observe(i int) {
+	h.counts[i]++
+	h.total++
+}
+
+// Count returns the raw count of item i.
+func (h *CountHistogram) Count(i int) int64 { return h.counts[i] }
+
+// Total returns the total number of observations.
+func (h *CountHistogram) Total() int64 { return h.total }
+
+// Distribution returns the normalized empirical distribution. With no
+// observations it returns all zeros.
+func (h *CountHistogram) Distribution() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}

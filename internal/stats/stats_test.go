@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almost(s.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	if !almost(s.PopVariance(), 4, 1e-12) {
+		t.Errorf("PopVariance = %v, want 4", s.PopVariance())
+	}
+	if !almost(s.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", s.Variance(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if !almost(s.StdErr(), math.Sqrt(32.0/7/8), 1e-12) {
+		t.Errorf("StdErr = %v", s.StdErr())
+	}
+}
+
+func TestSummaryEdgeCases(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 {
+		t.Error("empty summary should be zeroed")
+	}
+	s.Add(3)
+	if s.Variance() != 0 {
+		t.Error("single observation variance should be 0")
+	}
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+}
+
+func TestSummaryMatchesBatchProperty(t *testing.T) {
+	check := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var s Summary
+		s.AddAll(xs)
+		scale := math.Max(1, math.Abs(s.Mean()))
+		return almost(s.Mean(), Mean(xs), 1e-8*scale) &&
+			almost(s.Variance(), Variance(xs), 1e-6*math.Max(1, s.Variance()))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Median(xs); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("q.25 = %v", got)
+	}
+	// Interpolation between order stats.
+	if got := Quantile([]float64{0, 10}, 0.3); !almost(got, 3, 1e-12) {
+		t.Errorf("interpolated quantile = %v, want 3", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(11, 10); !almost(got, 0.1, 1e-12) {
+		t.Errorf("RelativeError = %v", got)
+	}
+	if got := RelativeError(9, 10); !almost(got, 0.1, 1e-12) {
+		t.Errorf("RelativeError = %v", got)
+	}
+	if got := RelativeError(0, 0); got != 0 {
+		t.Errorf("0/0 = %v", got)
+	}
+	if got := RelativeError(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("x/0 = %v", got)
+	}
+}
+
+func TestKLDivergenceBasics(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.9, 0.1}
+	d := KLDivergence(p, q, 0)
+	want := 0.5*math.Log(0.5/0.9) + 0.5*math.Log(0.5/0.1)
+	if !almost(d, want, 1e-12) {
+		t.Errorf("KL = %v, want %v", d, want)
+	}
+	if got := KLDivergence(p, p, 0); got != 0 {
+		t.Errorf("KL(p||p) = %v, want 0", got)
+	}
+}
+
+func TestKLDivergenceZeroHandling(t *testing.T) {
+	p := []float64{0.5, 0.5, 0}
+	q := []float64{1, 0, 0}
+	if got := KLDivergence(p, q, 0); !math.IsInf(got, 1) {
+		t.Errorf("KL with unsupported mass = %v, want +Inf", got)
+	}
+	if got := KLDivergence(p, q, 1e-9); math.IsInf(got, 1) || got < 0 {
+		t.Errorf("smoothed KL = %v, want finite non-negative", got)
+	}
+	// q-only zeros are fine without smoothing.
+	if got := KLDivergence(q, p, 0); math.IsInf(got, 1) {
+		t.Errorf("KL(q||p) = %v, want finite", got)
+	}
+}
+
+func TestKLNonNegativeProperty(t *testing.T) {
+	check := func(praw, qraw [8]uint8) bool {
+		p := make([]float64, 8)
+		q := make([]float64, 8)
+		for i := range p {
+			p[i] = float64(praw[i]) + 1 // strictly positive
+			q[i] = float64(qraw[i]) + 1
+		}
+		return KLDivergence(p, q, 0) >= 0
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymmetricKL(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.8, 0.2}
+	want := KLDivergence(p, q, 0) + KLDivergence(q, p, 0)
+	if got := SymmetricKL(p, q, 0); !almost(got, want, 1e-12) {
+		t.Errorf("SymmetricKL = %v, want %v", got, want)
+	}
+	if got := SymmetricKL(q, p, 0); !almost(got, want, 1e-12) {
+		t.Error("SymmetricKL is not symmetric")
+	}
+}
+
+func TestKLPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KLDivergence([]float64{1}, []float64{1, 2}, 0)
+}
+
+func TestTotalVariation(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	if got := TotalVariation(p, q); !almost(got, 1, 1e-12) {
+		t.Errorf("TV = %v, want 1", got)
+	}
+	if got := TotalVariation(p, p); got != 0 {
+		t.Errorf("TV(p,p) = %v", got)
+	}
+	// Normalization: unnormalized inputs give the same result.
+	if got := TotalVariation([]float64{2, 2}, []float64{3, 1}); !almost(got, 0.25, 1e-12) {
+		t.Errorf("TV = %v, want 0.25", got)
+	}
+}
+
+func TestKSDistance(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{1, 2, 3, 4}
+	if got := KSDistance(a, b); got != 0 {
+		t.Errorf("KS identical = %v", got)
+	}
+	// Disjoint supports: KS = 1.
+	if got := KSDistance([]float64{1, 2}, []float64{10, 20}); !almost(got, 1, 1e-12) {
+		t.Errorf("KS disjoint = %v, want 1", got)
+	}
+	// Half-shifted.
+	got := KSDistance([]float64{1, 2, 3, 4}, []float64{3, 4, 5, 6})
+	if !almost(got, 0.5, 1e-12) {
+		t.Errorf("KS shifted = %v, want 0.5", got)
+	}
+}
+
+func TestCountHistogram(t *testing.T) {
+	h := NewCountHistogram(3)
+	for i := 0; i < 6; i++ {
+		h.Observe(i % 3)
+	}
+	h.Observe(0)
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Count(0) != 3 || h.Count(1) != 2 || h.Count(2) != 2 {
+		t.Errorf("counts = %d %d %d", h.Count(0), h.Count(1), h.Count(2))
+	}
+	d := h.Distribution()
+	if !almost(d[0], 3.0/7, 1e-12) || !almost(d[1], 2.0/7, 1e-12) {
+		t.Errorf("distribution = %v", d)
+	}
+	empty := NewCountHistogram(2)
+	if d := empty.Distribution(); d[0] != 0 || d[1] != 0 {
+		t.Errorf("empty distribution = %v", d)
+	}
+}

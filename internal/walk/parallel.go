@@ -1,0 +1,77 @@
+package walk
+
+import (
+	"rewire/internal/graph"
+	"rewire/internal/rng"
+)
+
+// Parallel interleaves k independent walkers round-robin, implementing the
+// "many random walks are faster than one" scheme (Alon et al. [4]) the
+// paper's related-work section points at: MTO applies to each member walk
+// unchanged, and when the members share one caching client they also share
+// the query budget and the discovered topology.
+//
+// Parallel itself satisfies Walker: each Step advances the next member and
+// returns its position, so k consecutive Steps advance every member once.
+// It satisfies Weighter when every member does, delegating to the member
+// that produced the most recent sample.
+type Parallel struct {
+	members []Walker
+	next    int
+}
+
+// NewParallel wraps the given walkers (at least one).
+func NewParallel(members ...Walker) *Parallel {
+	if len(members) == 0 {
+		panic("walk: NewParallel needs at least one walker")
+	}
+	return &Parallel{members: members}
+}
+
+// NewParallelSimple builds k SRW members over src with distinct starts and
+// split RNG streams.
+func NewParallelSimple(src Source, starts []graph.NodeID, r *rng.Rand) *Parallel {
+	members := make([]Walker, len(starts))
+	for i, s := range starts {
+		members[i] = NewSimple(src, s, r.Split())
+	}
+	return NewParallel(members...)
+}
+
+// Members returns the wrapped walkers (shared slice, do not modify).
+func (p *Parallel) Members() []Walker { return p.members }
+
+// Current returns the position of the member that last stepped (the first
+// member before any step).
+func (p *Parallel) Current() graph.NodeID {
+	last := p.next - 1
+	if last < 0 {
+		last = 0
+	}
+	return p.members[last].Current()
+}
+
+// Step advances the next member round-robin.
+func (p *Parallel) Step() graph.NodeID {
+	v := p.members[p.next].Step()
+	p.next = (p.next + 1) % len(p.members)
+	return v
+}
+
+// StationaryWeight delegates to the member that produced the most recent
+// sample; members that do not implement Weighter weigh 1 (uniform target).
+func (p *Parallel) StationaryWeight(v graph.NodeID) float64 {
+	last := p.next - 1
+	if last < 0 {
+		last = len(p.members) - 1
+	}
+	if w, ok := p.members[last].(Weighter); ok {
+		return w.StationaryWeight(v)
+	}
+	return 1
+}
+
+var (
+	_ Walker   = (*Parallel)(nil)
+	_ Weighter = (*Parallel)(nil)
+)

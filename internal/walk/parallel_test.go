@@ -1,0 +1,115 @@
+package walk
+
+import (
+	"math"
+	"testing"
+
+	"rewire/internal/gen"
+	"rewire/internal/graph"
+	"rewire/internal/osn"
+	"rewire/internal/rng"
+	"rewire/internal/stats"
+)
+
+func TestParallelRoundRobin(t *testing.T) {
+	g := gen.Cycle(12)
+	p := NewParallelSimple(g, []graph.NodeID{0, 6}, rng.New(1))
+	if len(p.Members()) != 2 {
+		t.Fatalf("members = %d", len(p.Members()))
+	}
+	// Steps alternate between walkers started at 0 and 6; on a cycle each
+	// stays within ±i of its origin after i of its own steps.
+	first := p.Step()  // member 0
+	second := p.Step() // member 1
+	d0 := cycleDist(first, 0, 12)
+	d1 := cycleDist(second, 6, 12)
+	if d0 != 1 || d1 != 1 {
+		t.Errorf("first steps landed at %d,%d", first, second)
+	}
+}
+
+func cycleDist(a, b graph.NodeID, n int) int {
+	d := int(math.Abs(float64(a - b)))
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+func TestParallelStationaryStillDegreeProportional(t *testing.T) {
+	g := gen.Lollipop(6, 4)
+	starts := []graph.NodeID{0, 3, 7, 9}
+	p := NewParallelSimple(g, starts, rng.New(2))
+	h := stats.NewCountHistogram(g.NumNodes())
+	for i := 0; i < 400000; i++ {
+		h.Observe(int(p.Step()))
+	}
+	want := make([]float64, g.NumNodes())
+	for u := range want {
+		want[u] = float64(g.Degree(graph.NodeID(u)))
+	}
+	if tv := stats.TotalVariation(h.Distribution(), want); tv > 0.02 {
+		t.Errorf("parallel SRW TV distance = %v", tv)
+	}
+}
+
+func TestParallelSharesQueryBudget(t *testing.T) {
+	g := gen.Barbell(8)
+	svc := osn.NewService(g, nil, osn.Config{})
+	client := osn.NewClient(svc)
+	// Two members starting in the two different cliques share the cache.
+	p := NewParallelSimple(client, []graph.NodeID{0, 8}, rng.New(3))
+	Run(p, 2000)
+	if client.UniqueQueries() > int64(g.NumNodes()) {
+		t.Errorf("cost %d exceeds node count", client.UniqueQueries())
+	}
+	// Both cliques were explored: cost well above a single clique's size.
+	if client.UniqueQueries() < 10 {
+		t.Errorf("cost %d too small for two-clique coverage", client.UniqueQueries())
+	}
+}
+
+func TestParallelWeighterDelegation(t *testing.T) {
+	g := gen.Star(6)
+	p := NewParallelSimple(g, []graph.NodeID{1, 2}, rng.New(4))
+	v := p.Step()
+	if got, want := p.StationaryWeight(v), float64(g.Degree(v)); got != want {
+		t.Errorf("weight = %v, want %v", got, want)
+	}
+	if p.Current() != v {
+		t.Errorf("Current = %d, want %d", p.Current(), v)
+	}
+}
+
+func TestParallelPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewParallel()
+}
+
+func TestParallelMixesFasterOnBarbell(t *testing.T) {
+	// The point of parallel walks: members starting on both sides cover the
+	// barbell far faster than a single walk that must cross the bridge.
+	g := gen.Barbell(11)
+	coverSteps := func(w Walker) int {
+		seen := make(map[graph.NodeID]bool)
+		for i := 1; i <= 300000; i++ {
+			seen[w.Step()] = true
+			if len(seen) == g.NumNodes() {
+				return i
+			}
+		}
+		return 300001
+	}
+	var single, both int
+	for seed := uint64(1); seed <= 30; seed++ {
+		single += coverSteps(NewSimple(g, 0, rng.New(seed)))
+		both += coverSteps(NewParallelSimple(g, []graph.NodeID{0, 11}, rng.New(seed)))
+	}
+	if both >= single {
+		t.Errorf("mean parallel coverage %d not faster than single %d (30 seeds)", both/30, single/30)
+	}
+}

@@ -1,0 +1,161 @@
+// Package walk implements the random-walk samplers the paper compares:
+// Simple Random Walk (SRW, the baseline, Definition 1), Metropolis–Hastings
+// Random Walk (MHRW, uniform target), and Random Jump (RJ, MHRW with uniform
+// restarts). The MTO-Sampler itself lives in internal/core and plugs into
+// the same Walker interface.
+//
+// Walkers see the network only through a Source — either a *graph.Graph
+// (free local access, for ground-truth computations) or an *osn.Client
+// (the restrictive web interface with unique-query cost accounting).
+package walk
+
+import (
+	"rewire/internal/graph"
+	"rewire/internal/rng"
+)
+
+// Source is a read-only neighborhood oracle. *graph.Graph and *osn.Client
+// both satisfy it.
+type Source interface {
+	// Neighbors returns v's neighbor list (shared slice, do not modify).
+	Neighbors(v graph.NodeID) []graph.NodeID
+	// Degree returns len(Neighbors(v)).
+	Degree(v graph.NodeID) int
+}
+
+// Walker advances a Markov chain over nodes.
+type Walker interface {
+	// Current returns the node the walk is at.
+	Current() graph.NodeID
+	// Step advances one transition and returns the new current node.
+	Step() graph.NodeID
+}
+
+// Weighter exposes a quantity proportional to the walker's stationary
+// probability at v, used by importance-sampling estimators to unbias
+// aggregates. (SRW: degree; MHRW/RJ: constant; MTO: overlay degree.)
+type Weighter interface {
+	// StationaryWeight returns a value proportional to π(v). It may issue
+	// queries when the walker needs topology it has not seen.
+	StationaryWeight(v graph.NodeID) float64
+}
+
+// Simple is the paper's baseline SRW: from u, move to a uniformly random
+// neighbor. Its stationary distribution is π(v) = deg(v)/2|E| on the
+// component of the start node. A node with no neighbors is absorbing (the
+// walk stays put), which cannot happen on connected inputs.
+type Simple struct {
+	src Source
+	cur graph.NodeID
+	rng *rng.Rand
+}
+
+// NewSimple starts an SRW at start.
+func NewSimple(src Source, start graph.NodeID, r *rng.Rand) *Simple {
+	return &Simple{src: src, cur: start, rng: r}
+}
+
+// Current returns the walk position.
+func (w *Simple) Current() graph.NodeID { return w.cur }
+
+// Step moves to a uniform random neighbor.
+func (w *Simple) Step() graph.NodeID {
+	nbrs := w.src.Neighbors(w.cur)
+	if len(nbrs) > 0 {
+		w.cur = rng.Choice(w.rng, nbrs)
+	}
+	return w.cur
+}
+
+// StationaryWeight is deg(v).
+func (w *Simple) StationaryWeight(v graph.NodeID) float64 {
+	return float64(w.src.Degree(v))
+}
+
+// MetropolisHastings is the MHRW sampler with a uniform target
+// distribution: propose a uniform neighbor v of u, accept with probability
+// min(1, deg(u)/deg(v)), else stay. Every proposal costs a query for v's
+// degree — the reason the paper (citing [10], [14]) finds MHRW 1.5–8×
+// slower than SRW in practice.
+type MetropolisHastings struct {
+	src Source
+	cur graph.NodeID
+	rng *rng.Rand
+}
+
+// NewMetropolisHastings starts an MHRW at start.
+func NewMetropolisHastings(src Source, start graph.NodeID, r *rng.Rand) *MetropolisHastings {
+	return &MetropolisHastings{src: src, cur: start, rng: r}
+}
+
+// Current returns the walk position.
+func (w *MetropolisHastings) Current() graph.NodeID { return w.cur }
+
+// Step performs one propose/accept round.
+func (w *MetropolisHastings) Step() graph.NodeID {
+	nbrs := w.src.Neighbors(w.cur)
+	if len(nbrs) == 0 {
+		return w.cur
+	}
+	v := rng.Choice(w.rng, nbrs)
+	ku := len(nbrs)
+	kv := w.src.Degree(v) // costs a query on first contact
+	if kv <= ku || w.rng.Float64() < float64(ku)/float64(kv) {
+		w.cur = v
+	}
+	return w.cur
+}
+
+// StationaryWeight is constant: MHRW targets the uniform distribution.
+func (w *MetropolisHastings) StationaryWeight(graph.NodeID) float64 { return 1 }
+
+// RandomJump wraps MHRW with uniform restarts: with probability PJump the
+// walk teleports to a uniformly random user ID (requiring the global ID
+// space, which the paper notes is not available on every network), otherwise
+// it performs an MHRW step. Uniform is stationary for both components, so
+// the chain still targets the uniform distribution. The paper's experiments
+// use PJump = 0.5.
+type RandomJump struct {
+	mh       *MetropolisHastings
+	numUsers int
+	pJump    float64
+	rng      *rng.Rand
+}
+
+// NewRandomJump starts an RJ walker at start over an ID space of numUsers.
+func NewRandomJump(src Source, start graph.NodeID, numUsers int, pJump float64, r *rng.Rand) *RandomJump {
+	return &RandomJump{
+		mh:       NewMetropolisHastings(src, start, r),
+		numUsers: numUsers,
+		pJump:    pJump,
+		rng:      r,
+	}
+}
+
+// Current returns the walk position.
+func (w *RandomJump) Current() graph.NodeID { return w.mh.cur }
+
+// Step jumps or performs an MHRW step.
+func (w *RandomJump) Step() graph.NodeID {
+	if w.rng.Bernoulli(w.pJump) {
+		w.mh.cur = graph.NodeID(w.rng.Intn(w.numUsers))
+		// Touch the landing node so the jump is charged like any other
+		// individual-user query.
+		w.mh.src.Neighbors(w.mh.cur)
+		return w.mh.cur
+	}
+	return w.mh.Step()
+}
+
+// StationaryWeight is constant: RJ targets the uniform distribution.
+func (w *RandomJump) StationaryWeight(graph.NodeID) float64 { return 1 }
+
+// Run advances w by n steps and returns the visited nodes (one entry per
+// step, excluding the start).
+func Run(w Walker, n int) []graph.NodeID {
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = w.Step()
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package walk
+
+import (
+	"math"
+	"testing"
+
+	"rewire/internal/gen"
+	"rewire/internal/graph"
+	"rewire/internal/osn"
+	"rewire/internal/rng"
+	"rewire/internal/stats"
+)
+
+// empiricalDistribution runs the walker and tallies visit frequencies.
+func empiricalDistribution(w Walker, n int, numNodes int) []float64 {
+	h := stats.NewCountHistogram(numNodes)
+	for i := 0; i < n; i++ {
+		h.Observe(int(w.Step()))
+	}
+	return h.Distribution()
+}
+
+func degreeDistribution(g *graph.Graph) []float64 {
+	out := make([]float64, g.NumNodes())
+	twoM := float64(2 * g.NumEdges())
+	for u := range out {
+		out[u] = float64(g.Degree(graph.NodeID(u))) / twoM
+	}
+	return out
+}
+
+func uniformDistribution(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1 / float64(n)
+	}
+	return out
+}
+
+func TestSimpleStationaryIsDegreeProportional(t *testing.T) {
+	g := gen.Lollipop(6, 4) // mixed degrees
+	w := NewSimple(g, 0, rng.New(1))
+	emp := empiricalDistribution(w, 400000, g.NumNodes())
+	want := degreeDistribution(g)
+	if tv := stats.TotalVariation(emp, want); tv > 0.02 {
+		t.Errorf("SRW TV distance from degree-proportional = %v", tv)
+	}
+}
+
+func TestMHRWStationaryIsUniform(t *testing.T) {
+	g := gen.Lollipop(6, 4)
+	w := NewMetropolisHastings(g, 0, rng.New(2))
+	emp := empiricalDistribution(w, 400000, g.NumNodes())
+	if tv := stats.TotalVariation(emp, uniformDistribution(g.NumNodes())); tv > 0.02 {
+		t.Errorf("MHRW TV distance from uniform = %v", tv)
+	}
+}
+
+func TestRandomJumpStationaryIsUniform(t *testing.T) {
+	g := gen.Barbell(6)
+	w := NewRandomJump(g, 0, g.NumNodes(), 0.5, rng.New(3))
+	emp := empiricalDistribution(w, 400000, g.NumNodes())
+	if tv := stats.TotalVariation(emp, uniformDistribution(g.NumNodes())); tv > 0.02 {
+		t.Errorf("RJ TV distance from uniform = %v", tv)
+	}
+}
+
+func TestRandomJumpEscapesBarbell(t *testing.T) {
+	// SRW crosses the barbell bridge rarely; RJ teleports freely. Count
+	// side switches in a fixed number of steps.
+	g := gen.Barbell(11)
+	countSwitches := func(w Walker) int {
+		side := func(v graph.NodeID) int {
+			if v < 11 {
+				return 0
+			}
+			return 1
+		}
+		prev := side(w.Current())
+		switches := 0
+		for i := 0; i < 20000; i++ {
+			s := side(w.Step())
+			if s != prev {
+				switches++
+			}
+			prev = s
+		}
+		return switches
+	}
+	srw := countSwitches(NewSimple(g, 0, rng.New(4)))
+	rj := countSwitches(NewRandomJump(g, 0, g.NumNodes(), 0.5, rng.New(4)))
+	if rj < 10*srw {
+		t.Errorf("RJ switches %d vs SRW %d: teleports should dominate", rj, srw)
+	}
+}
+
+func TestWalkersHandleIsolatedStart(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 1, V: 2}}) // node 0 isolated
+	if got := NewSimple(g, 0, rng.New(5)).Step(); got != 0 {
+		t.Errorf("SRW left isolated node: %d", got)
+	}
+	if got := NewMetropolisHastings(g, 0, rng.New(5)).Step(); got != 0 {
+		t.Errorf("MHRW left isolated node: %d", got)
+	}
+}
+
+func TestStationaryWeights(t *testing.T) {
+	g := gen.Star(5)
+	srw := NewSimple(g, 0, rng.New(6))
+	if srw.StationaryWeight(0) != 4 || srw.StationaryWeight(1) != 1 {
+		t.Error("SRW weights should equal degree")
+	}
+	mh := NewMetropolisHastings(g, 0, rng.New(6))
+	if mh.StationaryWeight(0) != 1 || mh.StationaryWeight(3) != 1 {
+		t.Error("MHRW weights should be constant")
+	}
+}
+
+func TestQueryCostAccounting(t *testing.T) {
+	g := gen.Barbell(8)
+	svc := osn.NewService(g, nil, osn.Config{})
+	c := osn.NewClient(svc)
+	w := NewSimple(c, 0, rng.New(7))
+	Run(w, 500)
+	// Unique cost can't exceed steps+1 or the node count.
+	cost := c.UniqueQueries()
+	if cost > 501 || cost > int64(g.NumNodes()) {
+		t.Errorf("cost = %d out of bounds", cost)
+	}
+	// The walk visited both cliques by then; cost should be substantial.
+	if cost < 8 {
+		t.Errorf("cost = %d suspiciously small", cost)
+	}
+}
+
+func TestMHRWCostsProposalQueries(t *testing.T) {
+	// MHRW pays for rejected proposals too: on a star, the hub keeps
+	// proposing leaves (deg 1 -> always accepted), but leaves proposing the
+	// hub accept w.p. 1/(n-1); either way each new proposal is a query.
+	g := gen.Star(50)
+	svc := osn.NewService(g, nil, osn.Config{})
+	c := osn.NewClient(svc)
+	w := NewMetropolisHastings(c, 1, rng.New(8))
+	for i := 0; i < 4000; i++ {
+		w.Step()
+	}
+	// Hub acceptance from a leaf is 1/49, so ~4000/49 hub visits, each
+	// moving to a fresh leaf (a new query).
+	if c.UniqueQueries() < 20 {
+		t.Errorf("MHRW unique cost = %d, expected many proposal queries", c.UniqueQueries())
+	}
+}
+
+func TestRunLength(t *testing.T) {
+	g := gen.Cycle(9)
+	trace := Run(NewSimple(g, 0, rng.New(9)), 123)
+	if len(trace) != 123 {
+		t.Fatalf("trace length = %d", len(trace))
+	}
+	// Consecutive positions on a cycle differ by ±1 mod 9.
+	prev := graph.NodeID(0)
+	for _, v := range trace {
+		d := int(math.Abs(float64(v - prev)))
+		if d != 1 && d != 8 {
+			t.Fatalf("illegal cycle transition %d -> %d", prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestDeterministicWalks(t *testing.T) {
+	g := gen.EpinionsLikeSmall(1)
+	a := Run(NewSimple(g, 0, rng.New(42)), 1000)
+	b := Run(NewSimple(g, 0, rng.New(42)), 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("walks diverged at step %d", i)
+		}
+	}
+}

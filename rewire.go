@@ -1,0 +1,15 @@
+// Package rewire is a from-scratch Go reproduction of "Faster Random Walks
+// By Rewiring Online Social Networks On-The-Fly" (Zhou, Zhang, Gong, Das —
+// ICDE 2013, arXiv:1211.5184).
+//
+// The paper's contribution, the MTO-Sampler, lives in internal/core; the
+// supporting substrates are one package each under internal/ (graph,
+// generators, restrictive-interface simulation, walkers, spectral toolkit,
+// convergence diagnostics, estimation, latent-space theory, experiment
+// harness). The cmd/ binaries reproduce every table and figure of the
+// paper's evaluation, and bench_test.go at this root exposes one testing.B
+// benchmark per experiment plus design-choice ablations.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+package rewire
