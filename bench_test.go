@@ -1,11 +1,12 @@
 // One testing.B benchmark per paper table/figure (at reduced scale so the
 // full suite stays minutes, not hours — the cmd/mto-bench binary runs the
-// paper-scale versions), plus micro-benchmarks and the ablations called out
-// in DESIGN.md §4.
+// paper-scale versions), plus micro-benchmarks, design-choice ablations,
+// and the fleet-scaling pair (see README.md).
 package rewire_test
 
 import (
 	"testing"
+	"time"
 
 	"rewire/internal/core"
 	"rewire/internal/diag"
@@ -16,6 +17,7 @@ import (
 	"rewire/internal/osn"
 	"rewire/internal/rng"
 	"rewire/internal/spectral"
+	"rewire/internal/walk"
 )
 
 // --- Paper artifacts -------------------------------------------------------
@@ -112,7 +114,7 @@ func BenchmarkTheorem6Bound(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §4) ----------------------------------------------
+// --- Ablations ---------------------------------------------------------------
 
 // benchSamplerVariant measures unique-query cost per sample for one MTO
 // configuration on the small Epinions stand-in.
@@ -171,6 +173,43 @@ func BenchmarkAblationWeightSampled(b *testing.B) {
 	cfg.Weights = core.WeightSampled
 	benchSamplerVariant(b, cfg)
 }
+
+// --- Fleet scaling -----------------------------------------------------------
+
+// benchFleetSamples draws a fixed sample budget with k shared-overlay MTO
+// samplers over one shared caching client, either concurrently (walk.Fleet,
+// k goroutines) or sequentially round-robin (walk.Parallel, one goroutine).
+// The service charges a real 200µs round-trip per unique query — the
+// network cost a crawler actually pays — so comparing FleetConcurrentK16
+// against FleetSequentialK16 measures the wall-clock win of overlapping
+// in-flight queries (and, on multicore hardware, the sampling CPU too).
+func benchFleetSamples(b *testing.B, k int, concurrent bool) {
+	g := exp.SmallDatasets()[0].Graph
+	const samples = 20000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := osn.NewService(g, nil, osn.Config{RealLatency: 200 * time.Microsecond})
+		client := osn.NewClient(svc)
+		r := rng.New(uint64(i + 1))
+		starts := core.SpreadStarts(k, g.NumNodes(), r)
+		if concurrent {
+			f, _ := core.NewFleet(client, starts, core.DefaultConfig(), r)
+			f.Samples(samples)
+		} else {
+			p, _ := core.NewParallelSamplers(client, starts, core.DefaultConfig(), r)
+			walk.Run(p, samples)
+		}
+		b.ReportMetric(float64(client.UniqueQueries()), "queries/run")
+	}
+}
+
+func BenchmarkFleetConcurrentK1(b *testing.B)  { benchFleetSamples(b, 1, true) }
+func BenchmarkFleetConcurrentK4(b *testing.B)  { benchFleetSamples(b, 4, true) }
+func BenchmarkFleetConcurrentK16(b *testing.B) { benchFleetSamples(b, 16, true) }
+
+func BenchmarkFleetSequentialK1(b *testing.B)  { benchFleetSamples(b, 1, false) }
+func BenchmarkFleetSequentialK4(b *testing.B)  { benchFleetSamples(b, 4, false) }
+func BenchmarkFleetSequentialK16(b *testing.B) { benchFleetSamples(b, 16, false) }
 
 // --- Micro-benchmarks of the hot paths --------------------------------------
 

@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "experiment: table1|running|fig7|fig8|fig9|fig10|fig11|theorem6|all")
+		which   = flag.String("exp", "all", "experiment: table1|running|fig7|fig8|fig9|fig10|fig11|theorem6|fleet|all")
 		full    = flag.Bool("full", false, "run at full paper scale (slower)")
 		seed    = flag.Uint64("seed", 1, "master random seed")
 		dataset = flag.String("dataset", "", "restrict fig7 to one dataset (default: all three)")
@@ -127,9 +127,25 @@ func run(which string, full bool, seed uint64, dataset string) error {
 		}
 		res.Render(out)
 	}
+	if all || which == "fleet" {
+		section("Fleet — concurrent walkers vs sequential round-robin")
+		cfg := exp.QuickFleetConfig()
+		if full {
+			cfg = exp.DefaultFleetConfig()
+		}
+		target := exp.Datasets(full)[0]
+		if dataset != "" {
+			d := exp.DatasetByName(dataset, full)
+			if d == nil {
+				return fmt.Errorf("unknown dataset %q", dataset)
+			}
+			target = *d
+		}
+		exp.FleetScaling(target, cfg, seed).Render(out)
+	}
 	if !all {
 		switch which {
-		case "table1", "running", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem6":
+		case "table1", "running", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem6", "fleet":
 		default:
 			return fmt.Errorf("unknown experiment %q", which)
 		}

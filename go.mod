@@ -1,0 +1,3 @@
+module rewire
+
+go 1.24

@@ -110,7 +110,7 @@ func TestBuildOverlayConductanceNeverDecreasesProperty(t *testing.T) {
 }
 
 func TestBuildOverlayDenseRegimeCaveat(t *testing.T) {
-	// Documented limitation (also recorded in EXPERIMENTS.md): outside the
+	// Documented limitation: outside the
 	// paper's few-cross-cutting-edges assumption the conservative removal
 	// can reduce conductance slightly. Pin the known counterexample so the
 	// behaviour is tracked rather than silently relied upon.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"rewire/internal/graph"
 	"rewire/internal/walk"
@@ -14,8 +15,16 @@ import (
 // walk follows the modified topology while only the original network exists.
 //
 // The overlay never mutates the base; it is the third party's bookkeeping.
+//
+// Overlay is safe for concurrent use: a fleet of walkers reads materialized
+// neighbor lists under a shared read lock, and edge mutations (plus list
+// materialization) take the write lock. Returned neighbor slices are
+// immutable snapshots — invalidation replaces them rather than editing them
+// in place — so holding one across a concurrent mutation is safe.
 type Overlay struct {
-	base    walk.Source
+	base walk.Source
+
+	mu      sync.RWMutex
 	removed map[graph.EdgeKey]struct{}
 	added   map[graph.EdgeKey]struct{}
 	// addedAdj lists added-edge partners per node for list materialization.
@@ -23,16 +32,22 @@ type Overlay struct {
 	// lists caches materialized overlay neighbor lists, invalidated on
 	// mutation of either endpoint.
 	lists map[graph.NodeID][]graph.NodeID
+	// usedPivots records nodes that already hosted a Theorem 4 replacement.
+	// It lives on the overlay — not the sampler — so the one-replacement-
+	// per-pivot bound (Config.PivotOnce) holds across a whole fleet sharing
+	// this overlay, keeping total rewiring O(|V|) regardless of k.
+	usedPivots map[graph.NodeID]struct{}
 }
 
 // NewOverlay wraps base with an empty delta.
 func NewOverlay(base walk.Source) *Overlay {
 	return &Overlay{
-		base:     base,
-		removed:  make(map[graph.EdgeKey]struct{}),
-		added:    make(map[graph.EdgeKey]struct{}),
-		addedAdj: make(map[graph.NodeID][]graph.NodeID),
-		lists:    make(map[graph.NodeID][]graph.NodeID),
+		base:       base,
+		removed:    make(map[graph.EdgeKey]struct{}),
+		added:      make(map[graph.EdgeKey]struct{}),
+		addedAdj:   make(map[graph.NodeID][]graph.NodeID),
+		lists:      make(map[graph.NodeID][]graph.NodeID),
+		usedPivots: make(map[graph.NodeID]struct{}),
 	}
 }
 
@@ -43,6 +58,124 @@ func (o *Overlay) Base() walk.Source { return o.base }
 // do not modify). Reading it may cost a query on the underlying client for
 // v's base list — the same query any walk positioned at v must pay anyway.
 func (o *Overlay) Neighbors(v graph.NodeID) []graph.NodeID {
+	o.mu.RLock()
+	lst, ok := o.lists[v]
+	o.mu.RUnlock()
+	if ok {
+		return lst
+	}
+	// Warm the base cache BEFORE taking the overlay lock: on a fresh node
+	// the base read is the expensive part (a real provider round-trip
+	// through the client), and holding the overlay lock across it would
+	// serialize the whole fleet behind one walker's network wait. Base
+	// lists are immutable per node, so the early fetch is safe; the
+	// materialization below re-reads it as a cache hit.
+	o.base.Neighbors(v)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.materializeLocked(v)
+}
+
+// cachedList returns v's materialized overlay list if one exists, without
+// triggering materialization (and therefore without any base query).
+func (o *Overlay) cachedList(v graph.NodeID) ([]graph.NodeID, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	lst, ok := o.lists[v]
+	return lst, ok
+}
+
+// Degree returns v's overlay degree.
+func (o *Overlay) Degree(v graph.NodeID) int { return len(o.Neighbors(v)) }
+
+// HasEdge reports whether (u, v) exists in the overlay. It consults the
+// delta sets first and falls back to u's materialized list.
+func (o *Overlay) HasEdge(u, v graph.NodeID) bool {
+	k := graph.KeyOf(u, v)
+	o.mu.RLock()
+	_, gone := o.removed[k]
+	_, extra := o.added[k]
+	o.mu.RUnlock()
+	if gone {
+		return false
+	}
+	if extra {
+		return true
+	}
+	return graph.ContainsSorted(o.Neighbors(u), v)
+}
+
+// RemoveEdge deletes (u, v) from the overlay. Removing an edge that is not
+// present is a no-op. Removing an added edge cancels the addition.
+func (o *Overlay) RemoveEdge(u, v graph.NodeID) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.removeEdgeLocked(u, v)
+}
+
+func (o *Overlay) removeEdgeLocked(u, v graph.NodeID) {
+	k := graph.KeyOf(u, v)
+	if _, ok := o.added[k]; ok {
+		delete(o.added, k)
+		o.addedAdj[u] = without(o.addedAdj[u], v)
+		o.addedAdj[v] = without(o.addedAdj[v], u)
+	} else if graph.ContainsSorted(o.base.Neighbors(u), v) {
+		o.removed[k] = struct{}{}
+	} else {
+		// Neither an addition nor a base edge: a true no-op. Guarding here
+		// keeps the removed set a subset of the base edge set even when a
+		// fleet member acts on a stale neighbor list (e.g. the added edge it
+		// saw was cancelled concurrently), so RemovedCount and Materialize
+		// stay exact.
+		return
+	}
+	delete(o.lists, u)
+	delete(o.lists, v)
+}
+
+// AddEdge inserts (u, v) into the overlay: any removal mark is cleared, and
+// the edge is recorded as an addition only when the base graph does not
+// already carry it (so re-adding a base edge or restoring a removed one
+// leaves the delta sets clean). Self-loops are ignored.
+func (o *Overlay) AddEdge(u, v graph.NodeID) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.addEdgeLocked(u, v)
+}
+
+func (o *Overlay) addEdgeLocked(u, v graph.NodeID) {
+	if u == v {
+		return
+	}
+	k := graph.KeyOf(u, v)
+	delete(o.removed, k)
+	delete(o.lists, u)
+	delete(o.lists, v)
+	if graph.ContainsSorted(o.base.Neighbors(u), v) {
+		return // present in the base; clearing the removal mark restored it
+	}
+	if _, already := o.added[k]; !already {
+		o.added[k] = struct{}{}
+		o.addedAdj[u] = append(o.addedAdj[u], v)
+		o.addedAdj[v] = append(o.addedAdj[v], u)
+	}
+}
+
+// ReplaceEdge performs the Theorem 4 operation: remove (u, p), add (u, w),
+// atomically with respect to concurrent readers.
+func (o *Overlay) ReplaceEdge(u, p, w graph.NodeID) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.removeEdgeLocked(u, p)
+	o.addEdgeLocked(u, w)
+}
+
+// materializeLocked returns v's current overlay list, building it under the
+// already-held write lock. Callers must only reach here for nodes whose
+// base neighborhood is already cached by the client (the sampler guarantees
+// that: it queries a node before judging its edges), so the base read never
+// blocks on a provider round-trip while the lock is held.
+func (o *Overlay) materializeLocked(v graph.NodeID) []graph.NodeID {
 	if lst, ok := o.lists[v]; ok {
 		return lst
 	}
@@ -61,79 +194,106 @@ func (o *Overlay) Neighbors(v graph.NodeID) []graph.NodeID {
 	return lst
 }
 
-// Degree returns v's overlay degree.
-func (o *Overlay) Degree(v graph.NodeID) int { return len(o.Neighbors(v)) }
-
-// HasEdge reports whether (u, v) exists in the overlay. It consults the
-// delta sets first and falls back to u's materialized list.
-func (o *Overlay) HasEdge(u, v graph.NodeID) bool {
-	k := graph.KeyOf(u, v)
-	if _, ok := o.removed[k]; ok {
+// RemoveEdgeGuarded removes (u, v) only if, under the lock, the edge still
+// exists and the removal respects the walk-safety guards re-validated
+// against the *current* overlay: both endpoints keep degree above their
+// minimum (minU/minV are lower bounds the post-removal degree must not go
+// below, i.e. removal requires current degree > min), and, when
+// requireCommon is set, the endpoints share at least one other overlay
+// neighbor so the overlay cannot disconnect. Snapshot-based guards alone
+// are not enough in a fleet: two walkers can both judge the same edge
+// removable against the same stale lists; the second commit must re-check.
+// Reports whether the edge was removed.
+func (o *Overlay) RemoveEdgeGuarded(u, v graph.NodeID, minU, minV int, requireCommon bool) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.added[graph.KeyOf(u, v)]; ok {
+		// (u, v) is (now) a Theorem 4 addition — those are likely
+		// cross-cutting and must never be removed by the criterion, even if
+		// the caller judged a same-keyed base edge on a stale snapshot.
 		return false
 	}
-	if _, ok := o.added[k]; ok {
-		return true
+	uLst := o.materializeLocked(u)
+	if !graph.ContainsSorted(uLst, v) {
+		return false // already gone (another walker won the race)
 	}
-	return graph.ContainsSorted(o.Neighbors(u), v)
+	vLst := o.materializeLocked(v)
+	if len(uLst) <= minU || len(vLst) <= minV {
+		return false
+	}
+	if requireCommon && graph.CountIntersectSorted(uLst, vLst) < 1 {
+		return false
+	}
+	o.removeEdgeLocked(u, v)
+	return true
 }
 
-// RemoveEdge deletes (u, v) from the overlay. Removing an edge that is not
-// present is a no-op. Removing an added edge cancels the addition.
-func (o *Overlay) RemoveEdge(u, v graph.NodeID) {
-	k := graph.KeyOf(u, v)
-	if _, ok := o.added[k]; ok {
-		delete(o.added, k)
-		o.addedAdj[u] = without(o.addedAdj[u], v)
-		o.addedAdj[v] = without(o.addedAdj[v], u)
-	} else {
-		o.removed[k] = struct{}{}
+// ReplaceEdgeGuarded performs the Theorem 4 replacement remove (u, p) /
+// add (u, w) only if, under the lock, it is still valid on the current
+// overlay: (u, p) exists, (u, w) does not (a no-op replacement would just
+// delete an edge, which Theorem 4 does not license), the pivot p still has
+// exactly degree 3, and — when claimPivot is set — p has not hosted a
+// replacement before (the claim commits atomically with the rewiring, so a
+// fleet performs at most one replacement per pivot in total). Reports
+// whether the replacement happened.
+func (o *Overlay) ReplaceEdgeGuarded(u, p, w graph.NodeID, claimPivot bool) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if claimPivot {
+		if _, used := o.usedPivots[p]; used {
+			return false
+		}
 	}
-	delete(o.lists, u)
-	delete(o.lists, v)
+	uLst := o.materializeLocked(u)
+	if !graph.ContainsSorted(uLst, p) || graph.ContainsSorted(uLst, w) || u == w {
+		return false
+	}
+	pLst := o.materializeLocked(p)
+	if !ReplaceablePivot(len(pLst)) || !graph.ContainsSorted(pLst, w) {
+		return false // pivot degree changed, or w is no longer p's neighbor
+	}
+	o.removeEdgeLocked(u, p)
+	o.addEdgeLocked(u, w)
+	if claimPivot {
+		o.usedPivots[p] = struct{}{}
+	}
+	return true
 }
 
-// AddEdge inserts (u, v) into the overlay: any removal mark is cleared, and
-// the edge is recorded as an addition only when the base graph does not
-// already carry it (so re-adding a base edge or restoring a removed one
-// leaves the delta sets clean). Self-loops are ignored.
-func (o *Overlay) AddEdge(u, v graph.NodeID) {
-	if u == v {
-		return
-	}
-	k := graph.KeyOf(u, v)
-	delete(o.removed, k)
-	delete(o.lists, u)
-	delete(o.lists, v)
-	if graph.ContainsSorted(o.base.Neighbors(u), v) {
-		return // present in the base; clearing the removal mark restored it
-	}
-	if _, already := o.added[k]; !already {
-		o.added[k] = struct{}{}
-		o.addedAdj[u] = append(o.addedAdj[u], v)
-		o.addedAdj[v] = append(o.addedAdj[v], u)
-	}
-}
-
-// ReplaceEdge performs the Theorem 4 operation: remove (u, p), add (u, w).
-func (o *Overlay) ReplaceEdge(u, p, w graph.NodeID) {
-	o.RemoveEdge(u, p)
-	o.AddEdge(u, w)
+// PivotUsed reports whether p already hosted a Theorem 4 replacement.
+func (o *Overlay) PivotUsed(p graph.NodeID) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	_, used := o.usedPivots[p]
+	return used
 }
 
 // RemovedCount returns the number of net edge removals.
-func (o *Overlay) RemovedCount() int { return len(o.removed) }
+func (o *Overlay) RemovedCount() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.removed)
+}
 
 // AddedCount returns the number of net edge additions.
-func (o *Overlay) AddedCount() int { return len(o.added) }
+func (o *Overlay) AddedCount() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.added)
+}
 
 // Removed reports whether (u,v) was explicitly removed.
 func (o *Overlay) Removed(u, v graph.NodeID) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	_, ok := o.removed[graph.KeyOf(u, v)]
 	return ok
 }
 
 // IsAdded reports whether (u,v) is an overlay addition (not a base edge).
 func (o *Overlay) IsAdded(u, v graph.NodeID) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	_, ok := o.added[graph.KeyOf(u, v)]
 	return ok
 }
@@ -142,6 +302,8 @@ func (o *Overlay) IsAdded(u, v graph.NodeID) bool {
 // Useful for reconstructing overlay degrees against a local copy of the
 // base graph without touching the query budget.
 func (o *Overlay) RemovedEdges() []graph.EdgeKey {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	out := make([]graph.EdgeKey, 0, len(o.removed))
 	for k := range o.removed {
 		out = append(out, k)
@@ -151,6 +313,8 @@ func (o *Overlay) RemovedEdges() []graph.EdgeKey {
 
 // AddedEdges returns the keys of all added edges (order unspecified).
 func (o *Overlay) AddedEdges() []graph.EdgeKey {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	out := make([]graph.EdgeKey, 0, len(o.added))
 	for k := range o.added {
 		out = append(out, k)
@@ -162,8 +326,11 @@ func (o *Overlay) AddedEdges() []graph.EdgeKey {
 // It reads every node's base neighborhood, so call it only when the base is
 // a local graph (or a client whose budget you are willing to spend) — the
 // paper does exactly this in §V-A.3 to compute overlay mixing times after
-// running the walk to full coverage.
+// running the walk to full coverage. The write lock is held throughout, so
+// the result is a consistent snapshot even with walkers still running.
 func (o *Overlay) Materialize(n int) *graph.Graph {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	b := graph.NewBuilder(n)
 	for u := graph.NodeID(0); int(u) < n; u++ {
 		for _, v := range o.base.Neighbors(u) {

@@ -31,8 +31,9 @@ const (
 // each removal is individually conductance-safe on the current graph, but
 // the process reaches a much denser fixpoint (on the barbell running
 // example: Φ* ≈ 0.022 versus ≈ 0.05–0.07 for EvalOriginal, the paper
-// reporting 0.053). EXPERIMENTS.md quantifies both; EvalOriginal is the
-// default because it reproduces the paper's magnitudes.
+// reporting 0.053). The criterion ablation benchmarks in bench_test.go
+// quantify both; EvalOriginal is the default because it reproduces the
+// paper's magnitudes.
 type CriterionBase int
 
 const (
@@ -69,7 +70,9 @@ type Config struct {
 	// users; without the bound the walk rewires forever, its stationary
 	// distribution never settles, and the Geweke indicator (rightly)
 	// refuses to fire. One replacement per pivot keeps total rewiring
-	// O(|V|) so the chain is asymptotically stationary.
+	// O(|V|) so the chain is asymptotically stationary. The used-pivot set
+	// lives on the overlay, so the bound holds across every sampler
+	// sharing it (a fleet), not per member.
 	PivotOnce bool
 	// MaxInner caps inner re-pick iterations per Step as a safety valve.
 	MaxInner int
@@ -137,8 +140,6 @@ type Sampler struct {
 	cur   graph.NodeID
 	rng   *rng.Rand
 	stats Stats
-	// usedPivots records nodes that already hosted a replacement (PivotOnce).
-	usedPivots map[graph.NodeID]struct{}
 	// verdicts caches negative Theorem 3 outcomes under EvalOriginal, where
 	// the criterion is static (positive outcomes remove the edge, so they
 	// never need caching). Unused when Theorem 5 can apply: its verdict
@@ -152,15 +153,22 @@ type neighborCache interface {
 	Cached(v graph.NodeID) bool
 }
 
-// NewSampler starts an MTO walk at start over src.
+// NewSampler starts an MTO walk at start over src, with a private overlay.
 func NewSampler(src walk.Source, start graph.NodeID, cfg Config, r *rng.Rand) *Sampler {
+	return NewSamplerOn(NewOverlay(src), start, cfg, r)
+}
+
+// NewSamplerOn starts an MTO walk at start over an existing overlay, so
+// several samplers can share one rewired topology (the fleet configuration:
+// every walker benefits from every other walker's removals and
+// replacements). The sampler itself is single-goroutine state — run each
+// sampler on its own goroutine and share only the overlay and its source.
+func NewSamplerOn(ov *Overlay, start graph.NodeID, cfg Config, r *rng.Rand) *Sampler {
 	if cfg.MaxInner <= 0 {
 		cfg.MaxInner = 64
 	}
-	s := &Sampler{cfg: cfg, ov: NewOverlay(src), cur: start, rng: r}
-	if cfg.PivotOnce {
-		s.usedPivots = make(map[graph.NodeID]struct{})
-	}
+	src := ov.Base()
+	s := &Sampler{cfg: cfg, ov: ov, cur: start, rng: r}
 	if cfg.UseExtended {
 		switch cfg.Criterion {
 		case EvalOverlay:
@@ -188,7 +196,7 @@ func NewSampler(src walk.Source, start graph.NodeID, cfg Config, r *rng.Rand) *S
 type overlayDegreeCache struct{ ov *Overlay }
 
 func (c overlayDegreeCache) CachedDegree(v graph.NodeID) (int, bool) {
-	if lst, ok := c.ov.lists[v]; ok {
+	if lst, ok := c.ov.cachedList(v); ok {
 		return len(lst), true
 	}
 	if nc, ok := c.ov.base.(neighborCache); ok && nc.Cached(v) {
@@ -223,23 +231,24 @@ func (s *Sampler) Step() graph.NodeID {
 		vn := s.ov.Neighbors(v) // the individual-user query for v
 		s.stats.Examined++
 		if s.cfg.EnableRemoval && s.removableEdge(s.cur, v, nbrs, vn) {
-			// Theorem 3/5: (cur, v) is provably non-cross-cutting; the
-			// guards inside removableEdge keep the walk from stranding
-			// either endpoint (Algorithm 1's |N(u)| >= 1 invariant) and
-			// preserve overlay connectivity.
-			s.ov.RemoveEdge(s.cur, v)
-			s.stats.Removals++
+			// Theorem 3/5: (cur, v) is provably non-cross-cutting. The
+			// criterion was judged on snapshots; the guarded commit
+			// re-validates the walk-safety invariants (Algorithm 1's
+			// |N(u)| >= 1, the degree floor, overlay connectivity) against
+			// the *current* overlay under the lock, so a concurrent fleet
+			// member acting on the same stale lists cannot strand a node.
+			if s.ov.RemoveEdgeGuarded(s.cur, v, s.minKeep(s.cur), s.minKeep(v),
+				s.cfg.Criterion == EvalOriginal) {
+				s.stats.Removals++
+			}
 			continue
 		}
 		cand := v
 		if s.cfg.EnableReplacement && ReplaceablePivot(len(vn)) && s.pivotAvailable(v) &&
 			s.rng.Bernoulli(s.cfg.ReplaceProb) {
-			if w, ok := s.pickReplacement(nbrs, v, vn); ok {
-				s.ov.ReplaceEdge(s.cur, v, w)
+			if w, ok := s.pickReplacement(nbrs, v, vn); ok &&
+				s.ov.ReplaceEdgeGuarded(s.cur, v, w, s.cfg.PivotOnce) {
 				s.stats.Replacements++
-				if s.usedPivots != nil {
-					s.usedPivots[v] = struct{}{}
-				}
 				cand = w // Algorithm 1's "v ← v′"
 			}
 		}
@@ -299,13 +308,23 @@ func (s *Sampler) removableEdge(u, v graph.NodeID, uOv, vOv []graph.NodeID) bool
 	return fires
 }
 
-// pivotAvailable reports whether v may still host a replacement.
+// pivotAvailable reports whether v may still host a replacement. The used
+// set lives on the (possibly shared) overlay, so under PivotOnce the bound
+// is one replacement per pivot for the whole fleet, not per member; this is
+// only a cheap pre-check — the authoritative claim happens atomically
+// inside ReplaceEdgeGuarded.
 func (s *Sampler) pivotAvailable(v graph.NodeID) bool {
-	if s.usedPivots == nil {
-		return true
+	return !s.cfg.PivotOnce || !s.ov.PivotUsed(v)
+}
+
+// minKeep returns the overlay degree a node must retain after a removal:
+// the configured degree floor when one is set, else Algorithm 1's bare
+// |N(u)| >= 1.
+func (s *Sampler) minKeep(u graph.NodeID) int {
+	if s.cfg.DegreeFloor > 0 {
+		return s.floorOf(u)
 	}
-	_, used := s.usedPivots[v]
-	return !used
+	return 1
 }
 
 // floorOf returns the minimum overlay degree node u must keep:
@@ -372,23 +391,22 @@ func (s *Sampler) classifyIncident(v graph.NodeID, sample int) int {
 			return deg
 		}
 	}
-	var toRemove []graph.NodeID
+	removed := 0
 	for _, i := range idx[:tested] {
 		w := nbrs[i]
 		wn := s.ov.Neighbors(w)
 		s.stats.Examined++
-		if deg-len(toRemove) > 1 && s.removableEdge(v, w, nbrs, wn) {
-			toRemove = append(toRemove, w)
+		if s.removableEdge(v, w, nbrs, wn) &&
+			s.ov.RemoveEdgeGuarded(v, w, s.minKeep(v), s.minKeep(w),
+				s.cfg.Criterion == EvalOriginal) {
+			removed++
+			s.stats.Removals++
 		}
 	}
-	for _, w := range toRemove {
-		s.ov.RemoveEdge(v, w)
-		s.stats.Removals++
-	}
 	if tested == deg {
-		return deg - len(toRemove)
+		return deg - removed
 	}
-	frac := float64(len(toRemove)) / float64(tested)
+	frac := float64(removed) / float64(tested)
 	est := int(float64(deg)*(1-frac) + 0.5)
 	if est < 1 {
 		est = 1

@@ -1,7 +1,7 @@
 // Package exp contains one driver per table/figure of the paper's
 // evaluation (§V), each reproducible at full paper scale (cmd/mto-bench) or
-// at reduced scale (tests, benches). See DESIGN.md §4 for the experiment
-// index and EXPERIMENTS.md for recorded paper-vs-measured results.
+// at reduced scale (tests, benches), plus the fleet-scaling experiment. See
+// README.md for the experiment index and how to run everything.
 package exp
 
 import (

@@ -3,8 +3,8 @@
 // classic random models (Erdős–Rényi, Barabási–Albert, Watts–Strogatz,
 // planted partition), the latent-space model of the paper's §IV-B, and the
 // calibrated "tight community" social model that stands in for the SNAP
-// snapshots and the Google Plus crawl (see DESIGN.md §2 for the substitution
-// rationale).
+// snapshots and the Google Plus crawl (see the Social doc comment in
+// community.go for the substitution rationale).
 package gen
 
 import "rewire/internal/graph"

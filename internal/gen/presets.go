@@ -8,7 +8,7 @@ import (
 // The presets below are the offline stand-ins for the datasets of the
 // paper's Table I and the Google Plus crawl. Node/edge targets match the
 // paper's reported (post reciprocal-conversion) numbers; structure comes from
-// the Social model (see its doc comment and DESIGN.md §2).
+// the Social model (see its doc comment in community.go).
 //
 // The Small variants are 1/10-scale versions for tests and quick benches.
 

@@ -1,6 +1,20 @@
 package osn
 
-import "rewire/internal/graph"
+import (
+	"sync"
+
+	"rewire/internal/graph"
+)
+
+// inflight coordinates concurrent cache misses for one user: the first
+// goroutine to miss performs the service round-trip, later arrivals wait on
+// done and share the result. Publishing resp/err before close(done) gives
+// waiters a happens-before edge, so no lock is needed to read them.
+type inflight struct {
+	done chan struct{}
+	resp Response
+	err  error
+}
 
 // Client is the third-party sampler's view of the service. It implements the
 // paper's query-cost accounting (§II-B): "we consider the number of unique
@@ -9,30 +23,68 @@ import "rewire/internal/graph"
 // Every response is cached forever (the paper's Redis/Mongo local store),
 // and cached degree knowledge powers the Theorem 5 extended removal
 // criterion.
+//
+// Client is safe for concurrent use. A fleet of walkers sharing one Client
+// shares both the query budget and the discovered topology: cache hits are
+// served under a read lock, and cache misses are coalesced per user — the
+// lock is NOT held across the service round-trip (so misses for different
+// users overlap their latency, the fleet's whole wall-clock win), yet
+// concurrent misses for the same user still charge exactly one unique query.
 type Client struct {
 	svc    *Service
+	mu     sync.RWMutex
 	cache  map[graph.NodeID]Response
+	flight map[graph.NodeID]*inflight
 	unique int64
 }
 
 // NewClient wraps a service with an empty cache.
 func NewClient(svc *Service) *Client {
-	return &Client{svc: svc, cache: make(map[graph.NodeID]Response)}
+	return &Client{
+		svc:    svc,
+		cache:  make(map[graph.NodeID]Response),
+		flight: make(map[graph.NodeID]*inflight),
+	}
 }
 
 // Query returns q(v), from cache when possible. Only cache misses reach the
 // service and count toward UniqueQueries.
 func (c *Client) Query(v graph.NodeID) (Response, error) {
-	if resp, ok := c.cache[v]; ok {
+	c.mu.RLock()
+	resp, ok := c.cache[v]
+	c.mu.RUnlock()
+	if ok {
 		return resp, nil
 	}
-	resp, err := c.svc.Query(v)
-	if err != nil {
-		return Response{}, err
+	c.mu.Lock()
+	if resp, ok := c.cache[v]; ok {
+		c.mu.Unlock()
+		return resp, nil
 	}
-	c.cache[v] = resp
-	c.unique++
-	return resp, nil
+	if f, ok := c.flight[v]; ok {
+		// Someone else is already fetching v: wait for their round-trip.
+		c.mu.Unlock()
+		<-f.done
+		return f.resp, f.err
+	}
+	f := &inflight{done: make(chan struct{})}
+	c.flight[v] = f
+	c.mu.Unlock()
+
+	f.resp, f.err = c.svc.Query(v)
+
+	c.mu.Lock()
+	if f.err == nil {
+		c.cache[v] = f.resp
+		c.unique++
+	}
+	delete(c.flight, v)
+	c.mu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return Response{}, f.err
+	}
+	return f.resp, nil
 }
 
 // Neighbors returns v's neighbor list (shared slice, do not modify),
@@ -54,6 +106,8 @@ func (c *Client) Degree(v graph.NodeID) int {
 
 // Cached reports whether v's response is already in the local store.
 func (c *Client) Cached(v graph.NodeID) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	_, ok := c.cache[v]
 	return ok
 }
@@ -62,6 +116,8 @@ func (c *Client) Cached(v graph.NodeID) bool {
 // locally, without issuing a query. This is the "historical information ...
 // without paying any query cost" of the paper's Theorem 5 extension.
 func (c *Client) CachedDegree(v graph.NodeID) (int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	resp, ok := c.cache[v]
 	if !ok {
 		return 0, false
@@ -71,6 +127,8 @@ func (c *Client) CachedDegree(v graph.NodeID) (int, bool) {
 
 // CachedAttrs returns v's attributes if already known locally.
 func (c *Client) CachedAttrs(v graph.NodeID) (UserAttrs, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	resp, ok := c.cache[v]
 	if !ok {
 		return UserAttrs{}, false
@@ -79,10 +137,18 @@ func (c *Client) CachedAttrs(v graph.NodeID) (UserAttrs, bool) {
 }
 
 // UniqueQueries returns the paper's query-cost metric.
-func (c *Client) UniqueQueries() int64 { return c.unique }
+func (c *Client) UniqueQueries() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.unique
+}
 
 // NumUsers exposes the provider-published user count.
 func (c *Client) NumUsers() int { return c.svc.NumUsers() }
 
 // CacheSize returns the number of distinct users stored locally.
-func (c *Client) CacheSize() int { return len(c.cache) }
+func (c *Client) CacheSize() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.cache)
+}

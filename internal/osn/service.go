@@ -14,6 +14,7 @@ package osn
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"rewire/internal/graph"
@@ -39,7 +40,15 @@ type Config struct {
 	// Window is the rate-limit window length (e.g. 600s).
 	Window time.Duration
 	// PerQueryLatency is the simulated round-trip time of one web request.
+	// It advances only the simulated clock; the caller never blocks.
 	PerQueryLatency time.Duration
+	// RealLatency, when positive, makes every query actually block the
+	// calling goroutine for that long, outside the admission lock — the
+	// provider serves concurrent requests concurrently, each paying one
+	// round-trip. This is what a walker fleet overlaps: k in-flight queries
+	// cost one RealLatency of wall-clock, not k, while a sequential walker
+	// pays them end to end. Leave 0 for pure simulated-time experiments.
+	RealLatency time.Duration
 }
 
 // FacebookLimits mirrors the paper's cited Facebook quota: 600 open-graph
@@ -58,13 +67,15 @@ func TwitterLimits() Config {
 // quota is exhausted the next query "sleeps" (jumps the clock) to the next
 // window, exactly like a polite third-party crawler.
 //
-// Service is not safe for concurrent use; each experiment drives one walker
-// against one service.
+// Service is safe for concurrent use: the simulated clock and rate-limit
+// window are mutex-guarded, so a fleet of walkers sharing one API quota sees
+// the same serialized admission a real provider would enforce.
 type Service struct {
 	g     *graph.Graph
 	attrs *Attributes
 	cfg   Config
 
+	mu           sync.Mutex
 	now          time.Duration
 	windowStart  time.Duration
 	usedInWindow int
@@ -89,6 +100,9 @@ func (s *Service) Query(v graph.NodeID) (Response, error) {
 		return Response{}, fmt.Errorf("%w: id %d", ErrNoSuchUser, v)
 	}
 	s.admitOne()
+	if s.cfg.RealLatency > 0 {
+		time.Sleep(s.cfg.RealLatency)
+	}
 	resp := Response{User: v, Neighbors: s.g.Neighbors(v)}
 	if s.attrs != nil {
 		resp.Attrs = s.attrs.Of(v)
@@ -99,6 +113,8 @@ func (s *Service) Query(v graph.NodeID) (Response, error) {
 // admitOne advances the simulated clock through latency and, if needed, a
 // rate-limit wait.
 func (s *Service) admitOne() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.cfg.QueriesPerWindow > 0 {
 		if s.now-s.windowStart >= s.cfg.Window {
 			// Window expired naturally.
@@ -120,10 +136,22 @@ func (s *Service) admitOne() {
 
 // TotalQueries returns the number of queries served (including duplicates —
 // the Client is what deduplicates).
-func (s *Service) TotalQueries() int64 { return s.totalQueries }
+func (s *Service) TotalQueries() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalQueries
+}
 
 // RateLimitWaits returns how many times a caller had to sit out a window.
-func (s *Service) RateLimitWaits() int64 { return s.totalWaits }
+func (s *Service) RateLimitWaits() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalWaits
+}
 
 // SimulatedElapsed returns the simulated wall-clock time consumed so far.
-func (s *Service) SimulatedElapsed() time.Duration { return s.now }
+func (s *Service) SimulatedElapsed() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}

@@ -1,0 +1,131 @@
+package walk
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rewire/internal/graph"
+	"rewire/internal/rng"
+)
+
+// Sample is one node drawn by a fleet member, tagged with its provenance so
+// downstream estimators can attribute, stratify, or de-bias per walker.
+type Sample struct {
+	// Walker is the index of the member that drew the sample.
+	Walker int
+	// Node is the walk position after the step.
+	Node graph.NodeID
+	// Weight is the member's stationary weight at Node (1 for members that
+	// do not implement Weighter, i.e. uniform-target walkers).
+	Weight float64
+}
+
+// Fleet runs k walkers on k goroutines against a shared Source, merging
+// their sample streams through a channel. Where Parallel interleaves its
+// members round-robin on the caller's goroutine, Fleet is truly concurrent:
+// each member advances on its own goroutine, and the members race to drain
+// a shared sample budget — the "many random walks are faster than one"
+// scheme (Alon et al.) executed the way the follow-up OSN-sampling work
+// (Nazi et al.; Zhou et al.) argues it should be, with every walker sharing
+// the discovered topology and the query budget of the common source.
+//
+// Each member's own state (position, RNG, rewiring bookkeeping) must be
+// confined to one goroutine — Fleet guarantees that by never stepping a
+// member from two goroutines. Anything the members share must be safe for
+// concurrent use: osn.Client, osn.Service, and core.Overlay all are.
+type Fleet struct {
+	members []Walker
+}
+
+// NewFleet wraps the given walkers (at least one).
+func NewFleet(members ...Walker) *Fleet {
+	if len(members) == 0 {
+		panic("walk: NewFleet needs at least one walker")
+	}
+	return &Fleet{members: members}
+}
+
+// NewFleetSimple builds k SRW members over src with distinct starts and
+// split RNG streams. src must be safe for concurrent use.
+func NewFleetSimple(src Source, starts []graph.NodeID, r *rng.Rand) *Fleet {
+	members := make([]Walker, len(starts))
+	for i, s := range starts {
+		members[i] = NewSimple(src, s, r.Split())
+	}
+	return NewFleet(members...)
+}
+
+// Members returns the wrapped walkers (shared slice, do not modify).
+func (f *Fleet) Members() []Walker { return f.members }
+
+// Stream launches one goroutine per member and returns a channel carrying
+// their merged samples, plus a stop function. The members race for a shared
+// budget of total samples; the channel is closed once the budget is drained
+// and every goroutine has exited. Arrival order is nondeterministic — that
+// is the point — but each member's own subsequence is a faithful walk
+// trajectory.
+//
+// A caller that stops consuming before the channel closes MUST call stop
+// (idempotent, safe after normal completion too) — otherwise the walker
+// goroutines would block forever on their next send. After stop, drain any
+// buffered samples by ranging until the channel closes, or just drop the
+// channel; the goroutines exit either way.
+func (f *Fleet) Stream(total int) (samples <-chan Sample, stop func()) {
+	out := make(chan Sample, len(f.members))
+	quit := make(chan struct{})
+	var quitOnce sync.Once
+	stop = func() { quitOnce.Do(func() { close(quit) }) }
+	var claimed int64
+	var wg sync.WaitGroup
+	for i, m := range f.members {
+		wg.Add(1)
+		go func(id int, w Walker) {
+			defer wg.Done()
+			weighter, _ := w.(Weighter)
+			for atomic.AddInt64(&claimed, 1) <= int64(total) {
+				select {
+				case <-quit:
+					return
+				default:
+				}
+				v := w.Step()
+				s := Sample{Walker: id, Node: v, Weight: 1}
+				if weighter != nil {
+					s.Weight = weighter.StationaryWeight(v)
+				}
+				select {
+				case out <- s:
+				case <-quit:
+					return
+				}
+			}
+		}(i, m)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out, stop
+}
+
+// Samples drains Stream(total) into a slice, in arrival order.
+func (f *Fleet) Samples(total int) []Sample {
+	stream, stop := f.Stream(total)
+	defer stop()
+	out := make([]Sample, 0, total)
+	for s := range stream {
+		out = append(out, s)
+	}
+	return out
+}
+
+// PerWalker tallies how many of the given samples each of k walkers drew.
+func PerWalker(samples []Sample, k int) []int {
+	counts := make([]int, k)
+	for _, s := range samples {
+		if s.Walker >= 0 && s.Walker < k {
+			counts[s.Walker]++
+		}
+	}
+	return counts
+}

@@ -18,6 +18,7 @@ import (
 type Parallel struct {
 	members []Walker
 	next    int
+	stepped bool
 }
 
 // NewParallel wraps the given walkers (at least one).
@@ -41,31 +42,40 @@ func NewParallelSimple(src Source, starts []graph.NodeID, r *rng.Rand) *Parallel
 // Members returns the wrapped walkers (shared slice, do not modify).
 func (p *Parallel) Members() []Walker { return p.members }
 
+// lastStepped returns the index of the member that produced the most recent
+// sample (member 0 before any step). p.next points at the member that steps
+// next, so the last stepper is one behind it — modulo the wrap: after
+// exactly k steps p.next is 0 again, and the last stepper is member k-1,
+// not member 0.
+func (p *Parallel) lastStepped() int {
+	if !p.stepped {
+		return 0
+	}
+	last := p.next - 1
+	if last < 0 {
+		last = len(p.members) - 1
+	}
+	return last
+}
+
 // Current returns the position of the member that last stepped (the first
 // member before any step).
 func (p *Parallel) Current() graph.NodeID {
-	last := p.next - 1
-	if last < 0 {
-		last = 0
-	}
-	return p.members[last].Current()
+	return p.members[p.lastStepped()].Current()
 }
 
 // Step advances the next member round-robin.
 func (p *Parallel) Step() graph.NodeID {
 	v := p.members[p.next].Step()
 	p.next = (p.next + 1) % len(p.members)
+	p.stepped = true
 	return v
 }
 
 // StationaryWeight delegates to the member that produced the most recent
 // sample; members that do not implement Weighter weigh 1 (uniform target).
 func (p *Parallel) StationaryWeight(v graph.NodeID) float64 {
-	last := p.next - 1
-	if last < 0 {
-		last = len(p.members) - 1
-	}
-	if w, ok := p.members[last].(Weighter); ok {
+	if w, ok := p.members[p.lastStepped()].(Weighter); ok {
 		return w.StationaryWeight(v)
 	}
 	return 1

@@ -81,6 +81,36 @@ func TestParallelWeighterDelegation(t *testing.T) {
 	}
 }
 
+func TestParallelCurrentAfterWrap(t *testing.T) {
+	g := gen.Cycle(12)
+	starts := []graph.NodeID{0, 4, 8}
+	p := NewParallelSimple(g, starts, rng.New(5))
+	k := len(starts)
+	if got := p.Current(); got != starts[0] {
+		t.Fatalf("Current before any step = %d, want member 0's start %d", got, starts[0])
+	}
+	// Exactly k steps: the internal index wraps back to 0, but the member
+	// that last stepped is k-1 — Current must report it, not member 0.
+	var last graph.NodeID
+	for i := 0; i < k; i++ {
+		last = p.Step()
+	}
+	if got := p.Current(); got != last {
+		t.Errorf("Current after %d steps = %d, want last returned %d", k, got, last)
+	}
+	if got, want := p.Current(), p.Members()[k-1].Current(); got != want {
+		t.Errorf("Current after wrap = %d, want member %d's position %d", got, k-1, want)
+	}
+	// k+1 steps: member 0 stepped again and is the latest.
+	last = p.Step()
+	if got := p.Current(); got != last {
+		t.Errorf("Current after %d steps = %d, want last returned %d", k+1, got, last)
+	}
+	if got, want := p.Current(), p.Members()[0].Current(); got != want {
+		t.Errorf("Current after k+1 steps = %d, want member 0's position %d", got, want)
+	}
+}
+
 func TestParallelPanicsOnEmpty(t *testing.T) {
 	defer func() {
 		if recover() == nil {

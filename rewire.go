@@ -10,6 +10,6 @@
 // paper's evaluation, and bench_test.go at this root exposes one testing.B
 // benchmark per experiment plus design-choice ablations.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for recorded paper-vs-measured results.
+// See README.md for a tour of the layout, the quickstart commands, and the
+// concurrent walker-fleet architecture.
 package rewire
