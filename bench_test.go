@@ -211,6 +211,45 @@ func BenchmarkFleetSequentialK1(b *testing.B)  { benchFleetSamples(b, 1, false) 
 func BenchmarkFleetSequentialK4(b *testing.B)  { benchFleetSamples(b, 4, false) }
 func BenchmarkFleetSequentialK16(b *testing.B) { benchFleetSamples(b, 16, false) }
 
+// --- Prefetch pipeline -------------------------------------------------------
+
+// benchFleetPrefetch draws a fixed partitioned sample budget with a k-member
+// SRW fleet over one prefetching client, paying a real 200µs round-trip per
+// service query. The budget is partitioned (not raced), so the trajectories
+// — and with them the unique-query bill reported as queries/run — are
+// byte-identical across strategies: compare BenchmarkFleetPrefetchOff
+// against the strategy variants to read off the pure wall-clock win of
+// speculation at equal query cost (≥2x for the pipelined strategies; see
+// bench/baseline.json where CI gates exactly that).
+func benchFleetPrefetch(b *testing.B, strategy string) {
+	ds := exp.SmallDatasets()[0]
+	cfg := exp.QuickPrefetchExpConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row := exp.RunPrefetchFleet(ds, cfg, strategy, uint64(i+1))
+		b.ReportMetric(float64(row.Unique), "queries/run")
+	}
+}
+
+func BenchmarkFleetPrefetchOff(b *testing.B)      { benchFleetPrefetch(b, exp.PrefetchNone) }
+func BenchmarkFleetPrefetchNextHop(b *testing.B)  { benchFleetPrefetch(b, exp.PrefetchNextHop) }
+func BenchmarkFleetPrefetchFrontier(b *testing.B) { benchFleetPrefetch(b, exp.PrefetchFrontier) }
+
+// benchMTOPrefetch is the single-walker MTO counterpart: pivot-candidate
+// prefetch against the identical plain run.
+func benchMTOPrefetch(b *testing.B, prefetch bool) {
+	ds := exp.SmallDatasets()[0]
+	cfg := exp.QuickPrefetchExpConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row := exp.RunPrefetchMTO(ds, cfg, prefetch, uint64(i+1))
+		b.ReportMetric(float64(row.Unique), "queries/run")
+	}
+}
+
+func BenchmarkMTOPivotPrefetchOff(b *testing.B) { benchMTOPrefetch(b, false) }
+func BenchmarkMTOPivotPrefetchOn(b *testing.B)  { benchMTOPrefetch(b, true) }
+
 // --- Micro-benchmarks of the hot paths --------------------------------------
 
 func BenchmarkRemovalCriterion(b *testing.B) {

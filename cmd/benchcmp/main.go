@@ -1,0 +1,53 @@
+// Command benchcmp diffs a benchmark run (cmd/mto-bench -exp bench -json)
+// against the committed baseline and exits non-zero on a gated regression —
+// the teeth of the CI bench-gate job.
+//
+// Usage:
+//
+//	benchcmp [-tol 0.2] bench/baseline.json bench/run.json
+//
+// To refresh the baseline after an intentional change, regenerate it
+// (mto-bench -exp bench -seed 1 -json bench/baseline.json), re-apply the
+// min_speedup floors, and commit the result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rewire/internal/benchcmp"
+)
+
+func main() {
+	tol := flag.Float64("tol", benchcmp.DefaultTolerance, "relative tolerance on gated counters")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-tol 0.2] baseline.json run.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *tol); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(basePath, runPath string, tol float64) error {
+	base, err := benchcmp.Load(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := benchcmp.Load(runPath)
+	if err != nil {
+		return err
+	}
+	findings := benchcmp.Compare(base, cur, tol)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if benchcmp.HasRegression(findings) {
+		return fmt.Errorf("benchmark regression beyond ±%.0f%% tolerance", tol*100)
+	}
+	fmt.Printf("ok: %d benchmarks within ±%.0f%% of baseline\n", len(base.Results), tol*100)
+	return nil
+}

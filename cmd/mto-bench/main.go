@@ -6,6 +6,8 @@
 //
 //	mto-bench -exp all -full
 //	mto-bench -exp fig7 -dataset "Slashdot B" -seed 7
+//	mto-bench -exp prefetch -prefetch frontier -prefetch-depth 2
+//	mto-bench -exp bench -json bench/run.json   # CI bench-gate input
 package main
 
 import (
@@ -13,24 +15,42 @@ import (
 	"fmt"
 	"os"
 
+	"rewire/internal/benchcmp"
 	"rewire/internal/exp"
 )
 
+// prefetchFlags carries the -prefetch* tuning into the prefetch experiment.
+type prefetchFlags struct {
+	strategy string
+	depth    int
+	workers  int
+	topK     int
+}
+
 func main() {
 	var (
-		which   = flag.String("exp", "all", "experiment: table1|running|fig7|fig8|fig9|fig10|fig11|theorem6|fleet|all")
-		full    = flag.Bool("full", false, "run at full paper scale (slower)")
-		seed    = flag.Uint64("seed", 1, "master random seed")
-		dataset = flag.String("dataset", "", "restrict fig7 to one dataset (default: all three)")
+		which    = flag.String("exp", "all", "experiment: table1|running|fig7|fig8|fig9|fig10|fig11|theorem6|fleet|prefetch|all, or bench (standalone CI suite, not part of all)")
+		full     = flag.Bool("full", false, "run at full paper scale (slower)")
+		seed     = flag.Uint64("seed", 1, "master random seed")
+		dataset  = flag.String("dataset", "", "restrict fig7 to one dataset (default: all three)")
+		jsonOut  = flag.String("json", "", "write machine-readable results (only with -exp bench)")
+		strategy = flag.String("prefetch", "all", "prefetch strategies for -exp prefetch: all|none|nexthop|frontier")
+		depth    = flag.Int("prefetch-depth", 0, "prefetch pool recursive lookahead depth (0 = config default)")
+		workers  = flag.Int("prefetch-workers", 0, "prefetch pool workers (0 = config default)")
+		topK     = flag.Int("prefetch-topk", 0, "frontier strategy width (0 = config default)")
 	)
 	flag.Parse()
-	if err := run(*which, *full, *seed, *dataset); err != nil {
+	pf := prefetchFlags{strategy: *strategy, depth: *depth, workers: *workers, topK: *topK}
+	if err := run(*which, *full, *seed, *dataset, *jsonOut, pf); err != nil {
 		fmt.Fprintln(os.Stderr, "mto-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, full bool, seed uint64, dataset string) error {
+func run(which string, full bool, seed uint64, dataset, jsonOut string, pf prefetchFlags) error {
+	if jsonOut != "" && which != "bench" {
+		return fmt.Errorf("-json requires -exp bench")
+	}
 	out := os.Stdout
 	section := func(title string) {
 		fmt.Fprintf(out, "\n=== %s ===\n\n", title)
@@ -143,14 +163,76 @@ func run(which string, full bool, seed uint64, dataset string) error {
 		}
 		exp.FleetScaling(target, cfg, seed).Render(out)
 	}
+	if all || which == "prefetch" {
+		section("Prefetch — asynchronous speculative pipeline")
+		cfg := exp.QuickPrefetchExpConfig()
+		if full {
+			cfg = exp.DefaultPrefetchExpConfig()
+		}
+		if pf.depth > 0 {
+			cfg.Depth = pf.depth
+		}
+		if pf.workers > 0 {
+			cfg.Workers = pf.workers
+		}
+		if pf.topK > 0 {
+			cfg.TopK = pf.topK
+		}
+		switch pf.strategy {
+		case "", "all":
+		case exp.PrefetchNone, exp.PrefetchNextHop, exp.PrefetchFrontier:
+			// Always keep the no-prefetch reference so speedups are defined.
+			cfg.Strategies = []string{exp.PrefetchNone}
+			if pf.strategy != exp.PrefetchNone {
+				cfg.Strategies = append(cfg.Strategies, pf.strategy)
+			}
+		default:
+			return fmt.Errorf("unknown -prefetch strategy %q", pf.strategy)
+		}
+		target := exp.Datasets(full)[0]
+		if dataset != "" {
+			d := exp.DatasetByName(dataset, full)
+			if d == nil {
+				return fmt.Errorf("unknown dataset %q", dataset)
+			}
+			target = *d
+		}
+		exp.PrefetchScaling(target, cfg, seed).Render(out)
+	}
+	if which == "bench" {
+		section("Bench suite — deterministic CI gate workloads")
+		suite := exp.BenchSuite(seed)
+		renderSuite(out, suite)
+		if jsonOut != "" {
+			if err := benchcmp.Save(jsonOut, suite); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "\nwrote %s\n", jsonOut)
+		}
+	}
 	if !all {
 		switch which {
-		case "table1", "running", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem6", "fleet":
+		case "table1", "running", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem6", "fleet", "prefetch", "bench":
 		default:
 			return fmt.Errorf("unknown experiment %q", which)
 		}
 	}
 	return nil
+}
+
+// renderSuite prints the bench suite as an aligned table.
+func renderSuite(out *os.File, suite benchcmp.Suite) {
+	fmt.Fprintf(out, "seed %d\n\n", suite.Seed)
+	t := &exp.Table{Header: []string{"benchmark", "wall", "samples", "queries", "speedup"}}
+	for _, r := range suite.Results {
+		speedup := "-"
+		if r.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		t.AddRow(r.Name, fmt.Sprintf("%dms", r.WallNS/1e6), fmt.Sprintf("%d", r.Samples),
+			fmt.Sprintf("%d", r.Queries), speedup)
+	}
+	t.Render(out)
 }
 
 func diameterSamples(full bool) int {

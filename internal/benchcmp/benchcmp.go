@@ -1,0 +1,191 @@
+// Package benchcmp diffs a machine-readable benchmark run (cmd/mto-bench
+// -exp bench -json) against a committed baseline, so CI can fail a build
+// that regresses the hot path instead of letting it ship silently.
+//
+// Two kinds of metric are gated, chosen to be meaningful on ANY machine:
+//
+//   - Queries: the unique-query bill of a fixed-seed workload. The suite's
+//     workloads are deterministic (partitioned fleet budgets, single
+//     samplers), so this number is exact and portable — any drift beyond
+//     tolerance is a real behavior change, not noise.
+//   - Speedup: a wall-clock ratio between two workloads measured in the
+//     same process (e.g. prefetching fleet vs the identical fleet without
+//     prefetch). Ratios of latency-dominated runs transfer across machines
+//     where absolute nanoseconds do not; each baseline entry declares the
+//     floor (MinSpeedup) it must keep.
+//
+// Absolute wall-clock is recorded but never gated — a laptop and a CI
+// runner legitimately disagree about it.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Schema identifies the JSON layout; bump on incompatible changes.
+const Schema = 1
+
+// DefaultTolerance is the relative drift allowed on gated counters.
+const DefaultTolerance = 0.20
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Name    string `json:"name"`
+	WallNS  int64  `json:"wall_ns"`
+	Samples int    `json:"samples,omitempty"`
+	// Queries is the unique-query bill (deterministic on a fixed seed).
+	Queries int64 `json:"queries"`
+	// Speedup is the wall-clock ratio versus this benchmark's in-process
+	// reference run (0 when the benchmark has none).
+	Speedup float64 `json:"speedup,omitempty"`
+	// MinSpeedup is the gate floor for Speedup, set in the baseline file
+	// (runs leave it 0).
+	MinSpeedup float64 `json:"min_speedup,omitempty"`
+}
+
+// Suite is a full benchmark run.
+type Suite struct {
+	Schema  int      `json:"schema"`
+	Seed    uint64   `json:"seed"`
+	Results []Result `json:"results"`
+}
+
+// Finding is one comparison outcome. Regression findings fail the gate;
+// informational ones (improvements worth a baseline refresh, wall-clock
+// drift) are printed but never fail.
+type Finding struct {
+	Name       string
+	Metric     string
+	Base, Run  float64
+	Regression bool
+	Msg        string
+}
+
+// String renders the finding for CI logs.
+func (f Finding) String() string {
+	tag := "note"
+	if f.Regression {
+		tag = "REGRESSION"
+	}
+	return fmt.Sprintf("%s: %s/%s: %s (baseline %.4g, run %.4g)", tag, f.Name, f.Metric, f.Msg, f.Base, f.Run)
+}
+
+// Load reads a suite from a JSON file.
+func Load(path string) (Suite, error) {
+	var s Suite
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("benchcmp: parsing %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Save writes a suite as indented JSON.
+func Save(path string, s Suite) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Compare diffs run against base with the given relative tolerance (<= 0
+// selects DefaultTolerance) and returns findings sorted regressions-first.
+func Compare(base, run Suite, tol float64) []Finding {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	var out []Finding
+	if base.Schema != run.Schema {
+		out = append(out, Finding{Metric: "schema", Base: float64(base.Schema), Run: float64(run.Schema),
+			Regression: true, Msg: "schema mismatch — regenerate the baseline"})
+		return out
+	}
+	if base.Seed != run.Seed {
+		out = append(out, Finding{Metric: "seed", Base: float64(base.Seed), Run: float64(run.Seed),
+			Regression: true, Msg: "seed mismatch — deterministic counters are not comparable"})
+		return out
+	}
+	runBy := make(map[string]Result, len(run.Results))
+	for _, r := range run.Results {
+		runBy[r.Name] = r
+	}
+	for _, b := range base.Results {
+		r, ok := runBy[b.Name]
+		if !ok {
+			out = append(out, Finding{Name: b.Name, Metric: "presence", Regression: true,
+				Msg: "benchmark missing from run"})
+			continue
+		}
+		delete(runBy, b.Name)
+		out = append(out, compareOne(b, r, tol)...)
+	}
+	for _, name := range sortedKeys(runBy) {
+		out = append(out, Finding{Name: name, Metric: "presence",
+			Msg: "new benchmark not in baseline — add it when refreshing"})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Regression && !out[j].Regression })
+	return out
+}
+
+func compareOne(b, r Result, tol float64) []Finding {
+	var out []Finding
+	if b.Queries > 0 {
+		// Query counters are deterministic functions of the seed, so drift in
+		// EITHER direction beyond tolerance is a behavior change and fails
+		// the gate. A drop is just as suspicious as a growth: the cheapest
+		// way to "improve" this number is to stop billing queries the
+		// accounting invariant says must be billed. An intentional
+		// improvement lands by refreshing bench/baseline.json in the same PR.
+		ratio := float64(r.Queries) / float64(b.Queries)
+		switch {
+		case ratio > 1+tol:
+			out = append(out, Finding{Name: b.Name, Metric: "queries",
+				Base: float64(b.Queries), Run: float64(r.Queries), Regression: true,
+				Msg: fmt.Sprintf("unique-query cost grew %.1f%% (tolerance %.0f%%)", (ratio-1)*100, tol*100)})
+		case ratio < 1-tol:
+			out = append(out, Finding{Name: b.Name, Metric: "queries",
+				Base: float64(b.Queries), Run: float64(r.Queries), Regression: true,
+				Msg: fmt.Sprintf("unique-query cost dropped %.1f%% (tolerance %.0f%%) — deterministic counters must not drift; if intentional, refresh bench/baseline.json", (1-ratio)*100, tol*100)})
+		}
+	}
+	if b.MinSpeedup > 0 && r.Speedup > 0 && r.Speedup < b.MinSpeedup {
+		out = append(out, Finding{Name: b.Name, Metric: "speedup",
+			Base: b.MinSpeedup, Run: r.Speedup, Regression: true,
+			Msg: fmt.Sprintf("speedup %.2fx fell below the gated floor %.2fx", r.Speedup, b.MinSpeedup)})
+	}
+	if b.WallNS > 0 && r.WallNS > 0 {
+		ratio := float64(r.WallNS) / float64(b.WallNS)
+		if ratio > 1+tol {
+			out = append(out, Finding{Name: b.Name, Metric: "wall_ns",
+				Base: float64(b.WallNS), Run: float64(r.WallNS),
+				Msg: fmt.Sprintf("wall-clock %.1f%% over baseline (informational — machines differ)", (ratio-1)*100)})
+		}
+	}
+	return out
+}
+
+// HasRegression reports whether any finding fails the gate.
+func HasRegression(fs []Finding) bool {
+	for _, f := range fs {
+		if f.Regression {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[string]Result) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,125 @@
+package benchcmp
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func baseSuite() Suite {
+	return Suite{
+		Schema: Schema,
+		Seed:   1,
+		Results: []Result{
+			{Name: "FleetPrefetchOff", WallNS: 1000, Queries: 500},
+			{Name: "FleetPrefetchOn", WallNS: 400, Queries: 500, Speedup: 2.5, MinSpeedup: 2.0},
+		},
+	}
+}
+
+func runSuite() Suite {
+	return Suite{
+		Schema: Schema,
+		Seed:   1,
+		Results: []Result{
+			{Name: "FleetPrefetchOff", WallNS: 1100, Queries: 500},
+			{Name: "FleetPrefetchOn", WallNS: 420, Queries: 500, Speedup: 2.6},
+		},
+	}
+}
+
+func TestCleanRunPasses(t *testing.T) {
+	fs := Compare(baseSuite(), runSuite(), 0.2)
+	if HasRegression(fs) {
+		t.Fatalf("clean run flagged: %v", fs)
+	}
+}
+
+func TestQueryRegressionFails(t *testing.T) {
+	run := runSuite()
+	run.Results[0].Queries = 650 // +30% > 20% tolerance
+	fs := Compare(baseSuite(), run, 0.2)
+	if !HasRegression(fs) {
+		t.Fatal("query-cost regression not flagged")
+	}
+}
+
+func TestQueryDriftWithinTolerancePasses(t *testing.T) {
+	run := runSuite()
+	run.Results[0].Queries = 590 // +18% < 20% tolerance
+	if fs := Compare(baseSuite(), run, 0.2); HasRegression(fs) {
+		t.Fatalf("within-tolerance drift flagged: %v", fs)
+	}
+}
+
+func TestQueryDropBeyondToleranceFails(t *testing.T) {
+	// Query counters are deterministic, so a large drop is as alarming as a
+	// large growth: the cheapest way to "improve" the bill is to stop
+	// billing queries that should be billed.
+	run := runSuite()
+	run.Results[0].Queries = 300 // -40%
+	fs := Compare(baseSuite(), run, 0.2)
+	if !HasRegression(fs) {
+		t.Fatal("beyond-tolerance query drop not flagged")
+	}
+}
+
+func TestSpeedupBelowFloorFails(t *testing.T) {
+	run := runSuite()
+	run.Results[1].Speedup = 1.4
+	fs := Compare(baseSuite(), run, 0.2)
+	if !HasRegression(fs) {
+		t.Fatal("speedup below gated floor not flagged")
+	}
+}
+
+func TestWallClockDriftIsInformational(t *testing.T) {
+	run := runSuite()
+	run.Results[0].WallNS = 5000 // 5x slower — noisy machines may do this
+	fs := Compare(baseSuite(), run, 0.2)
+	if HasRegression(fs) {
+		t.Fatalf("wall-clock drift must not fail the gate: %v", fs)
+	}
+	found := false
+	for _, f := range fs {
+		if f.Metric == "wall_ns" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("wall-clock drift should produce a note")
+	}
+}
+
+func TestMissingBenchmarkFails(t *testing.T) {
+	run := runSuite()
+	run.Results = run.Results[:1]
+	if fs := Compare(baseSuite(), run, 0.2); !HasRegression(fs) {
+		t.Fatal("missing benchmark not flagged")
+	}
+}
+
+func TestSeedMismatchFails(t *testing.T) {
+	run := runSuite()
+	run.Seed = 2
+	if fs := Compare(baseSuite(), run, 0.2); !HasRegression(fs) {
+		t.Fatal("seed mismatch not flagged")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.json")
+	want := baseSuite()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(want.Results) || got.Seed != want.Seed || got.Schema != want.Schema {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, want)
+	}
+	if got.Results[1].MinSpeedup != want.Results[1].MinSpeedup {
+		t.Fatal("MinSpeedup lost in round trip")
+	}
+}

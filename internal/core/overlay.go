@@ -23,6 +23,9 @@ import (
 // in place — so holding one across a concurrent mutation is safe.
 type Overlay struct {
 	base walk.Source
+	// pf is the base's prefetch capability (nil when the base cannot warm
+	// its cache asynchronously, e.g. a local *graph.Graph).
+	pf walk.PrefetchSource
 
 	mu      sync.RWMutex
 	removed map[graph.EdgeKey]struct{}
@@ -41,8 +44,10 @@ type Overlay struct {
 
 // NewOverlay wraps base with an empty delta.
 func NewOverlay(base walk.Source) *Overlay {
+	pf, _ := base.(walk.PrefetchSource)
 	return &Overlay{
 		base:       base,
+		pf:         pf,
 		removed:    make(map[graph.EdgeKey]struct{}),
 		added:      make(map[graph.EdgeKey]struct{}),
 		addedAdj:   make(map[graph.NodeID][]graph.NodeID),
@@ -355,6 +360,30 @@ func without(lst []graph.NodeID, x graph.NodeID) []graph.NodeID {
 		}
 	}
 	return lst
+}
+
+// Prefetch forwards speculative fetch hints to the base source when it
+// supports them (osn.Client with a running pool does) and reports how many
+// were accepted. Overlay rewiring never adds nodes, only edges, so warming
+// the base cache for any id the walk may demand is always meaningful. With a
+// non-prefetchable base every hint is refused — the overlay then still
+// satisfies walk.PrefetchSource, just as a sink.
+func (o *Overlay) Prefetch(ids ...graph.NodeID) int {
+	if o.pf == nil {
+		return 0
+	}
+	return o.pf.Prefetch(ids...)
+}
+
+// Known reports whether a prefetch hint for v would be redundant. Without a
+// prefetchable base it falls back to whether v's overlay list is already
+// materialized.
+func (o *Overlay) Known(v graph.NodeID) bool {
+	if o.pf != nil {
+		return o.pf.Known(v)
+	}
+	_, ok := o.cachedList(v)
+	return ok
 }
 
 // CommonOverlayNeighbors intersects the overlay neighbor lists of u and v.

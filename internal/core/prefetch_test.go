@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rewire/internal/gen"
+	"rewire/internal/graph"
+	"rewire/internal/osn"
+	"rewire/internal/rng"
+	"rewire/internal/walk"
+)
+
+// runMTO advances one MTO sampler for steps steps over a fresh service and
+// returns its trajectory plus the client/service for inspection.
+func runMTO(t *testing.T, g *graph.Graph, cfg Config, seed uint64, steps int,
+	pf *osn.PrefetchConfig) ([]graph.NodeID, *osn.Client, *osn.Service) {
+	t.Helper()
+	svc := osn.NewService(g, nil, osn.Config{RealLatency: 20 * time.Microsecond})
+	var client *osn.Client
+	if pf != nil {
+		client = osn.NewPrefetchingClient(svc, *pf)
+	} else {
+		client = osn.NewClient(svc)
+	}
+	s := NewSampler(client, 0, cfg, rng.New(seed))
+	traj := walk.Run(s, steps)
+	client.StopPrefetch()
+	return traj, client, svc
+}
+
+// TestSamplerPrefetchInvariant checks the MTO pivot-candidate prefetch is
+// semantically invisible: same trajectory, same rewiring, same unique-query
+// bill as the plain sampler on the same seed — while the provider records
+// that speculative round-trips really happened. This covers the Theorem 5
+// interaction too: speculative entries must not leak into CachedDegree, or
+// removal verdicts (and with them the walk) would silently change.
+func TestSamplerPrefetchInvariant(t *testing.T) {
+	g, err := gen.Social(gen.SocialConfig{Nodes: 400, TargetEdges: 1600}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 1500
+	plainCfg := DefaultConfig()
+	trajPlain, cPlain, svcPlain := runMTO(t, g, plainCfg, 9, steps, nil)
+
+	specCfg := DefaultConfig()
+	specCfg.Prefetch = true
+	pool := osn.PrefetchConfig{Workers: 16, Depth: 1, Queue: 4096}
+	trajSpec, cSpec, svcSpec := runMTO(t, g, specCfg, 9, steps, &pool)
+
+	for i := range trajPlain {
+		if trajPlain[i] != trajSpec[i] {
+			t.Fatalf("trajectory diverged at step %d: %d vs %d — prefetch must be invisible",
+				i, trajPlain[i], trajSpec[i])
+		}
+	}
+	if cPlain.UniqueQueries() != cSpec.UniqueQueries() {
+		t.Errorf("UniqueQueries differ: %d plain vs %d prefetching",
+			cPlain.UniqueQueries(), cSpec.UniqueQueries())
+	}
+	if svcSpec.TotalQueries() <= svcPlain.TotalQueries() {
+		t.Errorf("service round-trips %d with prefetch vs %d without — expected real speculation",
+			svcSpec.TotalQueries(), svcPlain.TotalQueries())
+	}
+	if stats := cSpec.PrefetchStats(); stats.Fetched == 0 {
+		t.Error("prefetch pool fetched nothing — hints never reached the client")
+	}
+}
+
+// TestSamplerPrefetchDisabledWithoutCapability checks a Prefetch-enabled
+// config over a plain local graph degrades cleanly: no pf, no hints, no
+// behavior change.
+func TestSamplerPrefetchDisabledWithoutCapability(t *testing.T) {
+	g, err := gen.Social(gen.SocialConfig{Nodes: 200, TargetEdges: 800}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Prefetch = true
+	s := NewSampler(g, 0, cfg, rng.New(1))
+	if s.pf != nil {
+		t.Fatal("sampler acquired a prefetch source from a local graph")
+	}
+	plain := NewSampler(g, 0, DefaultConfig(), rng.New(1))
+	for i := 0; i < 500; i++ {
+		if a, b := s.Step(), plain.Step(); a != b {
+			t.Fatalf("step %d diverged: %d vs %d", i, a, b)
+		}
+	}
+}

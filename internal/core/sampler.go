@@ -87,6 +87,17 @@ type Config struct {
 	Weights WeightMode
 	// DegreeSample is the incident-edge sample size for WeightSampled.
 	DegreeSample int
+	// Prefetch issues non-blocking speculative fetch hints when the source
+	// supports them (an osn.Client with a running prefetch pool behind the
+	// overlay): on arrival the current node's overlay neighbors — the inner
+	// loop's re-pick candidate set — and on meeting a degree-3 pivot the
+	// pivot's neighbor list, i.e. the Theorem 4 replacement targets, so
+	// stepping onto a redirected edge finds its round-trip already in
+	// flight. Speculative responses stay invisible to the cost ledger and to
+	// the Theorem 5 degree cache until a demand query consumes them, so
+	// enabling this changes neither trajectories nor UniqueQueries — only
+	// wall-clock.
+	Prefetch bool
 }
 
 // DefaultConfig returns the paper's configuration: both operations on,
@@ -137,6 +148,9 @@ type Sampler struct {
 	cfg   Config
 	ov    *Overlay
 	cache DegreeCache // nil unless the source can answer degree questions for free
+	// pf carries prefetch hints to the base client when Config.Prefetch is
+	// set and the base supports them; nil otherwise.
+	pf    walk.PrefetchSource
 	cur   graph.NodeID
 	rng   *rng.Rand
 	stats Stats
@@ -169,6 +183,11 @@ func NewSamplerOn(ov *Overlay, start graph.NodeID, cfg Config, r *rng.Rand) *Sam
 	}
 	src := ov.Base()
 	s := &Sampler{cfg: cfg, ov: ov, cur: start, rng: r}
+	if cfg.Prefetch {
+		if _, ok := src.(walk.PrefetchSource); ok {
+			s.pf = ov
+		}
+	}
 	if cfg.UseExtended {
 		switch cfg.Criterion {
 		case EvalOverlay:
@@ -227,6 +246,12 @@ func (s *Sampler) Step() graph.NodeID {
 		if len(nbrs) == 0 {
 			return s.cur // isolated: absorbing, same as SRW
 		}
+		if iter == 0 && s.pf != nil {
+			// Every inner iteration demands one of these neighborhoods; get
+			// their round-trips in flight before the picks start, so re-picks
+			// coalesce onto speculation instead of paying latency serially.
+			s.pf.Prefetch(nbrs...)
+		}
 		v := rng.Choice(s.rng, nbrs)
 		vn := s.ov.Neighbors(v) // the individual-user query for v
 		s.stats.Examined++
@@ -244,12 +269,18 @@ func (s *Sampler) Step() graph.NodeID {
 			continue
 		}
 		cand := v
-		if s.cfg.EnableReplacement && ReplaceablePivot(len(vn)) && s.pivotAvailable(v) &&
-			s.rng.Bernoulli(s.cfg.ReplaceProb) {
-			if w, ok := s.pickReplacement(nbrs, v, vn); ok &&
-				s.ov.ReplaceEdgeGuarded(s.cur, v, w, s.cfg.PivotOnce) {
-				s.stats.Replacements++
-				cand = w // Algorithm 1's "v ← v′"
+		if s.cfg.EnableReplacement && ReplaceablePivot(len(vn)) {
+			if s.pf != nil {
+				// Theorem 4 pivot candidates: whichever neighbor of v the
+				// replacement redirects to becomes the walk's next demand.
+				s.pf.Prefetch(vn...)
+			}
+			if s.pivotAvailable(v) && s.rng.Bernoulli(s.cfg.ReplaceProb) {
+				if w, ok := s.pickReplacement(nbrs, v, vn); ok &&
+					s.ov.ReplaceEdgeGuarded(s.cur, v, w, s.cfg.PivotOnce) {
+					s.stats.Replacements++
+					cand = w // Algorithm 1's "v ← v′"
+				}
 			}
 		}
 		if s.rng.Bernoulli(s.cfg.LazyProb) {
@@ -434,7 +465,8 @@ func WalkToCoverage(s *Sampler, n, maxSteps int) (visited int, ok bool) {
 
 // Interface conformance checks.
 var (
-	_ walk.Walker   = (*Sampler)(nil)
-	_ walk.Weighter = (*Sampler)(nil)
-	_ walk.Source   = (*Overlay)(nil)
+	_ walk.Walker         = (*Sampler)(nil)
+	_ walk.Weighter       = (*Sampler)(nil)
+	_ walk.Source         = (*Overlay)(nil)
+	_ walk.PrefetchSource = (*Overlay)(nil)
 )

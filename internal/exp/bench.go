@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"time"
+
+	"rewire/internal/benchcmp"
+)
+
+// BenchSuite runs the deterministic workloads behind the CI bench-gate and
+// returns their machine-readable measurements (cmd/mto-bench -exp bench
+// -json). Every workload is schedule-independent — partitioned fleet
+// budgets, single samplers — so the unique-query counters are exact
+// functions of the seed and can be gated tightly; wall-clock enters only
+// through in-process speedup ratios, which transfer across machines because
+// the runs are latency-dominated (see internal/benchcmp).
+func BenchSuite(seed uint64) benchcmp.Suite {
+	ds := SmallDatasets()[0]
+	cfg := QuickPrefetchExpConfig()
+	suite := benchcmp.Suite{Schema: benchcmp.Schema, Seed: seed}
+	add := func(name string, samples int, row PrefetchRow, ref time.Duration) time.Duration {
+		r := benchcmp.Result{
+			Name:    name,
+			WallNS:  row.Wall.Nanoseconds(),
+			Samples: samples,
+			Queries: row.Unique,
+		}
+		if ref > 0 && row.Wall > 0 {
+			r.Speedup = float64(ref) / float64(row.Wall)
+		}
+		suite.Results = append(suite.Results, r)
+		return row.Wall
+	}
+
+	fleetRef := add("FleetPrefetchOff", cfg.Samples, RunPrefetchFleet(ds, cfg, PrefetchNone, seed), 0)
+	add("FleetPrefetchNextHop", cfg.Samples, RunPrefetchFleet(ds, cfg, PrefetchNextHop, seed), fleetRef)
+	add("FleetPrefetchFrontier", cfg.Samples, RunPrefetchFleet(ds, cfg, PrefetchFrontier, seed), fleetRef)
+
+	mtoRef := add("MTOPivotPrefetchOff", cfg.MTOSteps, RunPrefetchMTO(ds, cfg, false, seed), 0)
+	add("MTOPivotPrefetchOn", cfg.MTOSteps, RunPrefetchMTO(ds, cfg, true, seed), mtoRef)
+	return suite
+}

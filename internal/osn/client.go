@@ -6,14 +6,31 @@ import (
 	"rewire/internal/graph"
 )
 
-// inflight coordinates concurrent cache misses for one user: the first
-// goroutine to miss performs the service round-trip, later arrivals wait on
-// done and share the result. Publishing resp/err before close(done) gives
-// waiters a happens-before edge, so no lock is needed to read them.
+// inflight coordinates concurrent fetches for one user: the first goroutine
+// to miss (or the prefetch worker) performs the service round-trip, later
+// arrivals wait on done and share the result. Publishing resp/err before
+// close(done) gives waiters a happens-before edge, so no lock is needed to
+// read them.
 type inflight struct {
 	done chan struct{}
 	resp Response
 	err  error
+	// demanded records whether any demand-path caller (Query, QueryBatch, a
+	// waiter that coalesced onto this fetch) needs the result. Guarded by
+	// Client.mu. A fetch that stays speculative end to end commits without
+	// touching the unique-query ledger.
+	demanded bool
+}
+
+// cacheEntry is one stored response. Speculative entries were fetched by the
+// prefetch pool and not yet consumed by any demand query: they are invisible
+// to the cost ledger AND to the free-knowledge accessors (Cached,
+// CachedDegree, CachedAttrs) until a demand query upgrades them, so enabling
+// prefetch changes neither walk trajectories nor Theorem 5 verdicts nor
+// UniqueQueries — it is purely a latency optimization.
+type cacheEntry struct {
+	resp        Response
+	speculative bool
 }
 
 // Client is the third-party sampler's view of the service. It implements the
@@ -30,61 +47,162 @@ type inflight struct {
 // lock is NOT held across the service round-trip (so misses for different
 // users overlap their latency, the fleet's whole wall-clock win), yet
 // concurrent misses for the same user still charge exactly one unique query.
+//
+// A Client can additionally run an asynchronous prefetch pool (see
+// NewPrefetchingClient / StartPrefetch): Prefetch(ids...) enqueues
+// speculative fetches that overlap their round-trips with the walk, and a
+// demand Query that lands on an in-flight or completed speculative fetch
+// consumes it at exactly one unique query — never zero, never two.
 type Client struct {
 	svc    *Service
 	mu     sync.RWMutex
-	cache  map[graph.NodeID]Response
+	cache  map[graph.NodeID]cacheEntry
 	flight map[graph.NodeID]*inflight
 	unique int64
+	// speculative counts cache entries fetched ahead of demand and not yet
+	// consumed — the pool's outstanding bet.
+	speculative int64
+
+	// pool is the optional prefetch worker pool; nil means Prefetch is a
+	// no-op. Guarded by poolMu (not mu: enqueueing must not contend with the
+	// cache lock). retired accumulates counters of stopped pools.
+	poolMu  sync.RWMutex
+	pool    *prefetchPool
+	retired PrefetchStats
 }
 
-// NewClient wraps a service with an empty cache.
+// NewClient wraps a service with an empty cache and no prefetch pool.
 func NewClient(svc *Service) *Client {
 	return &Client{
 		svc:    svc,
-		cache:  make(map[graph.NodeID]Response),
+		cache:  make(map[graph.NodeID]cacheEntry),
 		flight: make(map[graph.NodeID]*inflight),
 	}
 }
 
 // Query returns q(v), from cache when possible. Only cache misses reach the
-// service and count toward UniqueQueries.
+// service, and only demanded responses count toward UniqueQueries: a
+// response the prefetch pool fetched speculatively is billed here, on first
+// demand, exactly once.
 func (c *Client) Query(v graph.NodeID) (Response, error) {
 	c.mu.RLock()
-	resp, ok := c.cache[v]
+	e, ok := c.cache[v]
 	c.mu.RUnlock()
-	if ok {
-		return resp, nil
+	if ok && !e.speculative {
+		return e.resp, nil
 	}
 	c.mu.Lock()
-	if resp, ok := c.cache[v]; ok {
+	if e, ok := c.cache[v]; ok {
+		if e.speculative {
+			// First demand touch of a prefetched response: bill it now.
+			e.speculative = false
+			c.cache[v] = e
+			c.unique++
+			c.speculative--
+		}
 		c.mu.Unlock()
-		return resp, nil
+		return e.resp, nil
 	}
 	if f, ok := c.flight[v]; ok {
-		// Someone else is already fetching v: wait for their round-trip.
+		// Someone else — a sibling walker or the prefetch pool — is already
+		// fetching v: mark the fetch demanded so commit bills it, then wait
+		// for the shared round-trip.
+		f.demanded = true
 		c.mu.Unlock()
 		<-f.done
-		return f.resp, f.err
+		if f.err != nil {
+			return Response{}, f.err
+		}
+		return f.resp, nil
+	}
+	f := &inflight{done: make(chan struct{}), demanded: true}
+	c.flight[v] = f
+	c.mu.Unlock()
+
+	f.resp, f.err = c.svc.Query(v)
+	c.commit(v, f)
+	if f.err != nil {
+		return Response{}, f.err
+	}
+	return f.resp, nil
+}
+
+// commit publishes a finished fetch: the response enters the cache (tagged
+// speculative when no demand caller ever touched the fetch), the ledger is
+// billed for demanded fetches, and waiters are released.
+func (c *Client) commit(v graph.NodeID, f *inflight) {
+	c.mu.Lock()
+	if f.err == nil {
+		c.cache[v] = cacheEntry{resp: f.resp, speculative: !f.demanded}
+		if f.demanded {
+			c.unique++
+		} else {
+			c.speculative++
+		}
+	}
+	delete(c.flight, v)
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// fetchSpeculative is the prefetch worker's fetch path: skip anything cached
+// or already in flight, otherwise perform the round-trip without marking the
+// fetch demanded. It reports whether this call performed a service
+// round-trip; when someone else's fetch is in flight it returns that fetch
+// instead, so a depth-carrying job can await the result and still expand the
+// frontier behind it — the common case for next-hop hints, which lose the
+// race against the walker's own demand query almost every time.
+func (c *Client) fetchSpeculative(v graph.NodeID) (resp Response, fetched bool, pending *inflight) {
+	c.mu.Lock()
+	if e, ok := c.cache[v]; ok {
+		c.mu.Unlock()
+		return e.resp, false, nil
+	}
+	if f, ok := c.flight[v]; ok {
+		c.mu.Unlock()
+		return Response{}, false, f
 	}
 	f := &inflight{done: make(chan struct{})}
 	c.flight[v] = f
 	c.mu.Unlock()
 
 	f.resp, f.err = c.svc.Query(v)
+	c.commit(v, f)
+	return f.resp, f.err == nil, nil
+}
 
-	c.mu.Lock()
-	if f.err == nil {
-		c.cache[v] = f.resp
-		c.unique++
+// QueryBatch resolves all ids, blocking until every response is available,
+// and returns them in input order. Misses are fetched concurrently — they
+// coalesce with any in-flight fetches and with each other — so a batch of m
+// cold ids costs roughly one RealLatency of wall-clock, not m, while each id
+// is billed as a demand query exactly once however many batches or walkers
+// race for it. The first error (if any) is returned after all fetches
+// settle.
+func (c *Client) QueryBatch(ids []graph.NodeID) ([]Response, error) {
+	out := make([]Response, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i, v := range ids {
+		c.mu.RLock()
+		e, ok := c.cache[v]
+		c.mu.RUnlock()
+		if ok && !e.speculative {
+			out[i] = e.resp
+			continue
+		}
+		wg.Add(1)
+		go func(i int, v graph.NodeID) {
+			defer wg.Done()
+			out[i], errs[i] = c.Query(v)
+		}(i, v)
 	}
-	delete(c.flight, v)
-	c.mu.Unlock()
-	close(f.done)
-	if f.err != nil {
-		return Response{}, f.err
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
 	}
-	return f.resp, nil
+	return out, nil
 }
 
 // Neighbors returns v's neighbor list (shared slice, do not modify),
@@ -104,49 +222,93 @@ func (c *Client) Degree(v graph.NodeID) int {
 	return len(c.Neighbors(v))
 }
 
-// Cached reports whether v's response is already in the local store.
+// Cached reports whether v's response is already in the local store AND has
+// been paid for by a demand query. Speculative prefetch results are
+// deliberately excluded: free-knowledge consumers (the Theorem 5 criterion)
+// must see the exact same world with and without prefetching, or enabling
+// the pool would silently change trajectories and query bills.
 func (c *Client) Cached(v graph.NodeID) bool {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	_, ok := c.cache[v]
+	e, ok := c.cache[v]
+	return ok && !e.speculative
+}
+
+// Known reports whether a fetch for v is already cached (demanded or
+// speculative) or in flight — i.e. whether issuing a prefetch hint for v
+// would be redundant. Prefetch strategies use it to spend their hint budget
+// on genuinely cold nodes.
+func (c *Client) Known(v graph.NodeID) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, ok := c.cache[v]; ok {
+		return true
+	}
+	_, ok := c.flight[v]
 	return ok
 }
 
 // CachedDegree returns v's degree if — and only if — it is already known
-// locally, without issuing a query. This is the "historical information ...
-// without paying any query cost" of the paper's Theorem 5 extension.
+// locally through a demand query, without issuing one. This is the
+// "historical information ... without paying any query cost" of the paper's
+// Theorem 5 extension. Speculative entries are excluded (see Cached).
 func (c *Client) CachedDegree(v graph.NodeID) (int, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	resp, ok := c.cache[v]
-	if !ok {
+	e, ok := c.cache[v]
+	if !ok || e.speculative {
 		return 0, false
 	}
-	return len(resp.Neighbors), true
+	return len(e.resp.Neighbors), true
 }
 
-// CachedAttrs returns v's attributes if already known locally.
+// CachedNeighbors returns v's neighbor list (shared slice, do not modify) if
+// already demand-cached. Prefetch strategies use it to read the walk
+// frontier without spending queries.
+func (c *Client) CachedNeighbors(v graph.NodeID) ([]graph.NodeID, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.cache[v]
+	if !ok || e.speculative {
+		return nil, false
+	}
+	return e.resp.Neighbors, true
+}
+
+// CachedAttrs returns v's attributes if already demand-cached.
 func (c *Client) CachedAttrs(v graph.NodeID) (UserAttrs, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	resp, ok := c.cache[v]
-	if !ok {
+	e, ok := c.cache[v]
+	if !ok || e.speculative {
 		return UserAttrs{}, false
 	}
-	return resp.Attrs, true
+	return e.resp.Attrs, true
 }
 
-// UniqueQueries returns the paper's query-cost metric.
+// UniqueQueries returns the paper's query-cost metric: responses a sampler
+// actually demanded. Speculative fetches still sitting unconsumed in the
+// cache are not included — see SpeculativeCount for the pool's outstanding
+// bet and Service.TotalQueries for the provider's view.
 func (c *Client) UniqueQueries() int64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.unique
 }
 
+// SpeculativeCount returns the number of prefetched responses no demand
+// query has consumed yet.
+func (c *Client) SpeculativeCount() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.speculative
+}
+
 // NumUsers exposes the provider-published user count.
 func (c *Client) NumUsers() int { return c.svc.NumUsers() }
 
-// CacheSize returns the number of distinct users stored locally.
+// CacheSize returns the number of distinct users stored locally (demanded
+// and speculative).
 func (c *Client) CacheSize() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()

@@ -71,18 +71,55 @@ func (f *Fleet) Members() []Walker { return f.members }
 // buffered samples by ranging until the channel closes, or just drop the
 // channel; the goroutines exit either way.
 func (f *Fleet) Stream(total int) (samples <-chan Sample, stop func()) {
+	var claimed int64
+	return f.launch(func(int) bool {
+		return atomic.AddInt64(&claimed, 1) <= int64(total)
+	})
+}
+
+// StreamPartitioned is Stream with the budget split up front instead of
+// raced for: member i draws exactly total/k samples (the first total%k
+// members draw one more). Each member's trajectory then depends only on its
+// own RNG stream, not on goroutine scheduling, so a partitioned run is
+// reproducible sample-for-sample — which is what the prefetch benchmarks
+// lean on to demonstrate identical unique-query counts with and without
+// speculation. The racing Stream stays the default: it finishes as soon as
+// the fastest members have drained the budget, while partitioning waits for
+// the slowest member's fixed quota.
+func (f *Fleet) StreamPartitioned(total int) (samples <-chan Sample, stop func()) {
+	quotas := make([]int64, len(f.members))
+	share := int64(total) / int64(len(f.members))
+	extra := total % len(f.members)
+	for i := range quotas {
+		quotas[i] = share
+		if i < extra {
+			quotas[i]++
+		}
+	}
+	// quotas[id] is touched only by member id's goroutine: no atomics needed.
+	return f.launch(func(id int) bool {
+		if quotas[id] <= 0 {
+			return false
+		}
+		quotas[id]--
+		return true
+	})
+}
+
+// launch starts one goroutine per member; claim(id) grants member id its
+// next sample (claims are never returned, even on early stop).
+func (f *Fleet) launch(claim func(id int) bool) (samples <-chan Sample, stop func()) {
 	out := make(chan Sample, len(f.members))
 	quit := make(chan struct{})
 	var quitOnce sync.Once
 	stop = func() { quitOnce.Do(func() { close(quit) }) }
-	var claimed int64
 	var wg sync.WaitGroup
 	for i, m := range f.members {
 		wg.Add(1)
 		go func(id int, w Walker) {
 			defer wg.Done()
 			weighter, _ := w.(Weighter)
-			for atomic.AddInt64(&claimed, 1) <= int64(total) {
+			for claim(id) {
 				select {
 				case <-quit:
 					return
@@ -111,6 +148,16 @@ func (f *Fleet) Stream(total int) (samples <-chan Sample, stop func()) {
 // Samples drains Stream(total) into a slice, in arrival order.
 func (f *Fleet) Samples(total int) []Sample {
 	stream, stop := f.Stream(total)
+	return drain(stream, stop, total)
+}
+
+// SamplesPartitioned drains StreamPartitioned(total) into a slice.
+func (f *Fleet) SamplesPartitioned(total int) []Sample {
+	stream, stop := f.StreamPartitioned(total)
+	return drain(stream, stop, total)
+}
+
+func drain(stream <-chan Sample, stop func(), total int) []Sample {
 	defer stop()
 	out := make([]Sample, 0, total)
 	for s := range stream {

@@ -1,0 +1,163 @@
+package walk
+
+import (
+	"testing"
+	"time"
+
+	"rewire/internal/gen"
+	"rewire/internal/graph"
+	"rewire/internal/osn"
+	"rewire/internal/rng"
+)
+
+func prefetchTestGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.Social(gen.SocialConfig{Nodes: 400, TargetEdges: 1600}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// trajectories groups a sample stream into per-walker node sequences.
+func trajectories(samples []Sample, k int) [][]graph.NodeID {
+	out := make([][]graph.NodeID, k)
+	for _, s := range samples {
+		out[s.Walker] = append(out[s.Walker], s.Node)
+	}
+	return out
+}
+
+// runPartitionedFleet runs a k-member SRW fleet over a fresh client and
+// returns the drawn samples plus the client and service for inspection.
+// mk == nil runs without prefetch wrapping.
+func runPartitionedFleet(t testing.TB, g *graph.Graph, k, total int, seed uint64,
+	pf osn.PrefetchConfig, mk func(src PrefetchSource) Prefetcher) ([]Sample, *osn.Client, *osn.Service) {
+	t.Helper()
+	svc := osn.NewService(g, nil, osn.Config{RealLatency: 20 * time.Microsecond})
+	var client *osn.Client
+	if mk != nil {
+		client = osn.NewPrefetchingClient(svc, pf)
+	} else {
+		client = osn.NewClient(svc)
+	}
+	r := rng.New(seed)
+	starts := make([]graph.NodeID, k)
+	for i := range starts {
+		starts[i] = graph.NodeID(r.Intn(g.NumNodes()))
+	}
+	fleet := NewFleetSimple(client, starts, rng.New(seed+1))
+	if mk != nil {
+		fleet = fleet.Prefetched(func() Prefetcher { return mk(client) })
+	}
+	samples := fleet.SamplesPartitioned(total)
+	client.StopPrefetch()
+	return samples, client, svc
+}
+
+// TestPartitionedFleetDeterministic checks that a partitioned-budget fleet
+// is reproducible run to run: same seeds, same per-member trajectories, same
+// unique-query bill — the property the prefetch invariants build on.
+func TestPartitionedFleetDeterministic(t *testing.T) {
+	g := prefetchTestGraph(t)
+	const k, total = 4, 2000
+	s1, c1, _ := runPartitionedFleet(t, g, k, total, 7, osn.PrefetchConfig{}, nil)
+	s2, c2, _ := runPartitionedFleet(t, g, k, total, 7, osn.PrefetchConfig{}, nil)
+	if len(s1) != total || len(s2) != total {
+		t.Fatalf("drew %d and %d samples, want %d", len(s1), len(s2), total)
+	}
+	t1, t2 := trajectories(s1, k), trajectories(s2, k)
+	for i := range t1 {
+		if len(t1[i]) != len(t2[i]) {
+			t.Fatalf("member %d drew %d then %d samples", i, len(t1[i]), len(t2[i]))
+		}
+		for j := range t1[i] {
+			if t1[i][j] != t2[i][j] {
+				t.Fatalf("member %d diverged at step %d: %d vs %d", i, j, t1[i][j], t2[i][j])
+			}
+		}
+	}
+	if c1.UniqueQueries() != c2.UniqueQueries() {
+		t.Errorf("unique queries differ across identical runs: %d vs %d",
+			c1.UniqueQueries(), c2.UniqueQueries())
+	}
+}
+
+// TestPrefetchBudgetInvariant is the tentpole's accounting guarantee, run
+// with -race: a prefetching fleet draws the exact same trajectories, the
+// exact same number of samples, and the exact same unique-query bill as the
+// same fleet without prefetching — while the service records that real
+// speculation happened. A speculative hit never double-bills; an unused
+// prefetch is never billed at all.
+func TestPrefetchBudgetInvariant(t *testing.T) {
+	g := prefetchTestGraph(t)
+	const k, total = 8, 4000
+	plain, cPlain, svcPlain := runPartitionedFleet(t, g, k, total, 11, osn.PrefetchConfig{}, nil)
+	pf := osn.PrefetchConfig{Workers: 16, Depth: 2, Queue: 4096}
+	spec, cSpec, svcSpec := runPartitionedFleet(t, g, k, total, 11, pf,
+		func(src PrefetchSource) Prefetcher { return NewFrontier(src, 8) })
+
+	if len(plain) != total || len(spec) != total {
+		t.Fatalf("sample budget violated: %d and %d drawn, want %d — speculation must not consume samples",
+			len(plain), len(spec), total)
+	}
+	tp, ts := trajectories(plain, k), trajectories(spec, k)
+	for i := range tp {
+		if len(tp[i]) != len(ts[i]) {
+			t.Fatalf("member %d drew %d plain vs %d prefetched samples", i, len(tp[i]), len(ts[i]))
+		}
+		for j := range tp[i] {
+			if tp[i][j] != ts[i][j] {
+				t.Fatalf("member %d trajectory diverged at step %d: %d vs %d — prefetch must be invisible",
+					i, j, tp[i][j], ts[i][j])
+			}
+		}
+	}
+	if cPlain.UniqueQueries() != cSpec.UniqueQueries() {
+		t.Errorf("UniqueQueries differ: %d without prefetch, %d with — billing must be identical",
+			cPlain.UniqueQueries(), cSpec.UniqueQueries())
+	}
+	if svcSpec.TotalQueries() <= svcPlain.TotalQueries() {
+		t.Errorf("service saw %d round-trips with prefetch vs %d without — expected real speculation",
+			svcSpec.TotalQueries(), svcPlain.TotalQueries())
+	}
+	stats := cSpec.PrefetchStats()
+	if stats.Fetched == 0 {
+		t.Error("prefetch pool fetched nothing — the invariant test proved nothing")
+	}
+}
+
+// TestPrefetchedWrapperDelegatesWeight checks the wrapper preserves the
+// Weighter contract: SRW weighs by degree through the wrapper, and a
+// non-Weighter inner walker weighs 1.
+func TestPrefetchedWrapperDelegatesWeight(t *testing.T) {
+	g := prefetchTestGraph(t)
+	w := NewSimple(g, 0, rng.New(1))
+	v := w.Step()
+	wrapped := WithPrefetch(w, NoPrefetch{})
+	if got, want := wrapped.StationaryWeight(v), float64(g.Degree(v)); got != want {
+		t.Errorf("wrapped SRW StationaryWeight(%d) = %v, want %v", v, got, want)
+	}
+	if got := wrapped.Current(); got != w.Current() {
+		t.Errorf("wrapped Current = %d, inner Current = %d", got, w.Current())
+	}
+}
+
+// TestFrontierWithoutPoolIsHarmless checks strategies stay no-ops over a
+// client with no running pool: hints are refused, nothing is fetched, the
+// walk is unaffected.
+func TestFrontierWithoutPoolIsHarmless(t *testing.T) {
+	g := prefetchTestGraph(t)
+	svc := osn.NewService(g, nil, osn.Config{})
+	client := osn.NewClient(svc)
+	w := WithPrefetch(NewSimple(client, 0, rng.New(1)), NewFrontier(client, 8))
+	for i := 0; i < 50; i++ {
+		w.Step()
+	}
+	if got := client.SpeculativeCount(); got != 0 {
+		t.Errorf("SpeculativeCount = %d without a pool, want 0", got)
+	}
+	if got, want := client.UniqueQueries(), int64(client.CacheSize()); got != want {
+		t.Errorf("UniqueQueries = %d, CacheSize = %d — all entries should be demanded", got, want)
+	}
+}
