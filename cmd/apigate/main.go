@@ -1,0 +1,261 @@
+// Command apigate guards the public rewire API surface: it renders every
+// exported declaration of a package directory into a deterministic text
+// snapshot and compares it against a checked-in golden file, so CI fails the
+// moment a PR changes an exported symbol without explicitly regenerating the
+// snapshot. An apidiff in spirit, with zero dependencies.
+//
+// Usage:
+//
+//	apigate <pkgdir>                  # print the surface to stdout
+//	apigate -write api/rewire.txt .   # (re)generate the golden file
+//	apigate -check api/rewire.txt .   # diff against it; exit 1 on drift
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		write = flag.String("write", "", "write the snapshot to this file")
+		check = flag.String("check", "", "compare the snapshot against this file; exit 1 on drift")
+	)
+	flag.Parse()
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = flag.Arg(0)
+	}
+	snapshot, err := surface(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apigate:", err)
+		os.Exit(2)
+	}
+	switch {
+	case *write != "":
+		if err := os.WriteFile(*write, []byte(snapshot), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apigate:", err)
+			os.Exit(2)
+		}
+	case *check != "":
+		golden, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apigate:", err)
+			os.Exit(2)
+		}
+		if string(golden) != snapshot {
+			fmt.Fprintf(os.Stderr, "apigate: exported API of %s drifted from %s\n\n", dir, *check)
+			printDiff(os.Stderr, string(golden), snapshot)
+			fmt.Fprintf(os.Stderr, "\nIf the change is intentional, regenerate with:\n\tgo run ./cmd/apigate -write %s %s\n", *check, dir)
+			os.Exit(1)
+		}
+	default:
+		fmt.Print(snapshot)
+	}
+}
+
+// surface renders the exported declarations of the package in dir (test
+// files excluded) as one sorted, deterministic text block.
+func surface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return "", err
+	}
+	var decls []string
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") || pkg.Name == "main" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				decls = append(decls, renderDecl(fset, d)...)
+			}
+		}
+	}
+	sort.Strings(decls)
+	return strings.Join(decls, "\n") + "\n", nil
+}
+
+// renderDecl returns the exported-surface lines of one top-level
+// declaration: full signatures for funcs and methods, full type specs
+// (struct fields and interface methods are part of the contract), and
+// name+type for consts and vars.
+func renderDecl(fset *token.FileSet, d ast.Decl) []string {
+	switch decl := d.(type) {
+	case *ast.FuncDecl:
+		if !decl.Name.IsExported() || !receiverExported(decl) {
+			return nil
+		}
+		fn := *decl
+		fn.Body = nil // signature only
+		fn.Doc = nil
+		return []string{render(fset, &fn)}
+	case *ast.GenDecl:
+		var out []string
+		for i, spec := range decl.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if !sp.Name.IsExported() {
+					continue
+				}
+				cp := *sp
+				cp.Doc, cp.Comment = nil, nil
+				cp.Type = exportedType(cp.Type)
+				out = append(out, "type "+render(fset, &cp))
+			case *ast.ValueSpec:
+				cp := *sp
+				cp.Doc, cp.Comment = nil, nil
+				var names []*ast.Ident
+				for _, n := range cp.Names {
+					if n.IsExported() {
+						names = append(names, n)
+					}
+				}
+				if len(names) == 0 {
+					continue
+				}
+				// Values are implementation; names (and an explicit type, if
+				// any) are the contract — except for constants in an iota
+				// block, whose VALUE is their position: record the ordinal so
+				// reordering (a silent value change) trips the gate.
+				kw := "const"
+				if decl.Tok == token.VAR {
+					kw = "var"
+				}
+				cp.Names = names
+				line := kw + " " + render(fset, &cp)
+				if decl.Tok == token.CONST && len(decl.Specs) > 1 {
+					line += fmt.Sprintf(" [ordinal %d]", i)
+				}
+				out = append(out, line)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedType returns t with unexported struct fields and all field
+// comments stripped: unexported fields (and their docs) are implementation,
+// not contract, and including them would make the gate fire on purely
+// internal refactors. Interface method sets pass through whole — every
+// method, exported or not, constrains implementability.
+func exportedType(t ast.Expr) ast.Expr {
+	st, ok := t.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return t
+	}
+	fields := &ast.FieldList{Opening: st.Fields.Opening, Closing: st.Fields.Closing}
+	for _, f := range st.Fields.List {
+		cp := *f
+		cp.Doc, cp.Comment = nil, nil
+		if len(cp.Names) == 0 {
+			// Embedded field: keep when the embedded type name is exported.
+			if embeddedExported(cp.Type) {
+				fields.List = append(fields.List, &cp)
+			}
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range cp.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		cp.Names = names
+		fields.List = append(fields.List, &cp)
+	}
+	out := *st
+	out.Fields = fields
+	return &out
+}
+
+// embeddedExported reports whether an embedded field's type name is
+// exported (pkg-qualified embeds always are).
+func embeddedExported(t ast.Expr) bool {
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.SelectorExpr:
+			return tt.Sel.IsExported()
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (methods on unexported types are not public surface).
+func receiverExported(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// render prints a node in canonical gofmt style, collapsed onto the degree
+// of whitespace go/printer chooses (deterministic for a given AST).
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 4}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<render error: %v>", err)
+	}
+	return buf.String()
+}
+
+// printDiff emits a minimal line diff (golden vs current) — enough to see
+// what moved without shipping a diff library.
+func printDiff(w *os.File, golden, current string) {
+	goldenLines := strings.Split(golden, "\n")
+	currentLines := strings.Split(current, "\n")
+	goldenSet := make(map[string]bool, len(goldenLines))
+	for _, l := range goldenLines {
+		goldenSet[l] = true
+	}
+	currentSet := make(map[string]bool, len(currentLines))
+	for _, l := range currentLines {
+		currentSet[l] = true
+	}
+	for _, l := range goldenLines {
+		if !currentSet[l] {
+			fmt.Fprintf(w, "- %s\n", l)
+		}
+	}
+	for _, l := range currentLines {
+		if !goldenSet[l] {
+			fmt.Fprintf(w, "+ %s\n", l)
+		}
+	}
+}

@@ -1,96 +1,138 @@
-// Command mto-sample runs one sampler against a simulated restrictive OSN
-// interface and reports the aggregate estimate, its error, and the query
-// budget spent — the paper's end-to-end use case in one invocation.
+// Command mto-sample runs one sampling session against a simulated
+// restrictive OSN interface and reports the aggregate estimate, its error,
+// and the query budget spent — the paper's end-to-end use case in one
+// invocation, built entirely on the public rewire SDK.
 //
 // Usage:
 //
 //	mto-sample -dataset Epinions -alg MTO -samples 4000
-//	mto-sample -graph edges.txt -alg SRW -aggregate degree
+//	mto-sample -graph edges.txt -alg SRW -fleet 8 -timeout 30s
+//	mto-sample -alg MTO -budget 2000           # stop at 2000 unique queries
+//
+// A -timeout deadline or a -budget cap ends the run early with whatever has
+// been sampled: the session is the paper's protocol made interruptible.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
-	"rewire/internal/diag"
-	"rewire/internal/estimate"
-	"rewire/internal/exp"
-	"rewire/internal/graph"
-	"rewire/internal/osn"
-	"rewire/internal/rng"
-	"rewire/internal/stats"
+	"rewire"
 )
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "Epinions", "preset dataset: Epinions | 'Slashdot A' | 'Slashdot B'")
+		dataset = flag.String("dataset", "Epinions", "preset dataset: Epinions | 'Slashdot A' | 'Slashdot B' | 'Google Plus'")
 		full    = flag.Bool("full", false, "use the full-scale preset")
 		file    = flag.String("graph", "", "edge-list file (overrides -dataset)")
 		alg     = flag.String("alg", "MTO", "sampler: SRW|MTO|MTO_RM|MTO_RP|MHRW|RJ")
+		fleetK  = flag.Int("fleet", 1, "concurrent walkers sharing the budget and overlay")
 		samples = flag.Int("samples", 4000, "samples after burn-in")
-		geweke  = flag.Float64("geweke", diag.DefaultThreshold, "Geweke convergence threshold")
+		geweke  = flag.Float64("geweke", 0.1, "Geweke convergence threshold")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		limitFB = flag.Bool("facebook-limits", false, "apply the paper's 600/600s quota to the interface")
+		timeout = flag.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none)")
+		budget  = flag.Int64("budget", 0, "unique-query budget (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := run(*dataset, *full, *file, *alg, *samples, *geweke, *seed, *limitFB); err != nil {
+	if err := run(*dataset, *full, *file, *alg, *fleetK, *samples, *geweke, *seed, *limitFB, *timeout, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, "mto-sample:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, full bool, file, alg string, samples int, geweke float64, seed uint64, limitFB bool) error {
-	var g *graph.Graph
+// options maps the paper's algorithm names (including the MTO_RM / MTO_RP
+// ablations) onto SDK options.
+func options(alg string) ([]rewire.Option, error) {
+	switch alg {
+	case "SRW":
+		return []rewire.Option{rewire.WithAlgorithm(rewire.AlgSRW)}, nil
+	case "MHRW":
+		return []rewire.Option{rewire.WithAlgorithm(rewire.AlgMHRW)}, nil
+	case "RJ":
+		return []rewire.Option{rewire.WithAlgorithm(rewire.AlgRJ)}, nil
+	case "MTO":
+		return []rewire.Option{rewire.WithAlgorithm(rewire.AlgMTO)}, nil
+	case "MTO_RM":
+		return []rewire.Option{rewire.WithAlgorithm(rewire.AlgMTO), rewire.WithReplacement(false)}, nil
+	case "MTO_RP":
+		return []rewire.Option{rewire.WithAlgorithm(rewire.AlgMTO), rewire.WithRemoval(false)}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", alg)
+	}
+}
+
+func run(dataset string, full bool, file, alg string, fleetK, samples int, geweke float64, seed uint64, limitFB bool, timeout time.Duration, budget int64) error {
+	var g *rewire.Graph
+	var err error
 	switch {
 	case file != "":
-		f, err := os.Open(file)
-		if err != nil {
+		if g, err = rewire.ReadEdgeListFile(file); err != nil {
 			return err
 		}
-		defer f.Close()
-		if g, err = graph.ReadEdgeList(f, 0); err != nil {
-			return err
-		}
+		dataset = file
 	default:
-		ds := exp.DatasetByName(dataset, full)
-		if ds == nil {
-			return fmt.Errorf("unknown dataset %q", dataset)
+		if g, err = rewire.PresetGraph(dataset, full); err != nil {
+			return err
 		}
-		g = ds.Graph
 	}
 
-	cfg := osn.Config{}
+	limits := rewire.Limits{}
 	if limitFB {
-		cfg = osn.FacebookLimits()
+		limits = rewire.FacebookLimits()
 	}
-	svc := osn.NewService(g, nil, cfg)
-	client := osn.NewClient(svc)
-	r := rng.New(seed)
-	start := graph.NodeID(r.Intn(g.NumNodes()))
-	walker, weighter, err := exp.NewWalker(alg, client, client.NumUsers(), start, r)
+	provider := rewire.Simulate(g, limits)
+	if budget > 0 {
+		provider.SetBudget(budget)
+	}
+
+	opts, err := options(alg)
 	if err != nil {
 		return err
 	}
-	info := func(v graph.NodeID) (int, estimate.Attrs) { return client.Degree(v), estimate.Attrs{} }
-	res := estimate.RunSession(walker, weighter, estimate.AvgDegree(), info, client.UniqueQueries,
-		estimate.SessionConfig{
-			BurnIn:  diag.NewGeweke(geweke, 200),
-			Samples: samples,
-		})
+	opts = append(opts, rewire.WithFleet(fleetK), rewire.WithSeed(seed))
+	session, err := rewire.NewSession(provider, opts...)
+	if err != nil {
+		return err
+	}
 
-	truth := estimate.GroundTruthDegree(g)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := session.Estimate(ctx, rewire.AvgDegree(), rewire.EstimateOptions{
+		Samples:         samples,
+		BurnIn:          true,
+		GewekeThreshold: geweke,
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Printf("NOTE: deadline %v expired; reporting the partial run\n", timeout)
+	case errors.Is(err, rewire.ErrBudgetExhausted):
+		fmt.Printf("NOTE: query budget %d exhausted; reporting the partial run\n", budget)
+	default:
+		return err
+	}
+
+	truth := g.AverageDegree()
 	fmt.Printf("dataset:            %s (%d nodes, %d edges)\n", dataset, g.NumNodes(), g.NumEdges())
-	fmt.Printf("sampler:            %s (seed %d, start %d)\n", alg, seed, start)
-	fmt.Printf("burn-in:            %d steps (converged: %v)\n", res.BurnInSteps, res.BurnInConverged)
+	fmt.Printf("sampler:            %s (seed %d, fleet %d)\n", alg, seed, fleetK)
+	fmt.Printf("burn-in:            %d steps (converged: %v)\n", res.BurnInSteps, res.Converged)
 	fmt.Printf("samples:            %d\n", res.Samples)
 	fmt.Printf("estimated avg deg:  %.4f\n", res.Estimate)
 	fmt.Printf("true avg degree:    %.4f\n", truth)
-	fmt.Printf("relative error:     %.4f\n", stats.RelativeError(res.Estimate, truth))
-	fmt.Printf("unique query cost:  %d\n", res.FinalCost)
+	fmt.Printf("relative error:     %.4f\n", rewire.RelativeError(res.Estimate, truth))
+	fmt.Printf("unique query cost:  %d\n", res.UniqueQueries)
 	if limitFB {
 		fmt.Printf("simulated time:     %s (%d rate-limit waits)\n",
-			svc.SimulatedElapsed(), svc.RateLimitWaits())
+			provider.SimulatedElapsed(), provider.RateLimitWaits())
 	}
 	return nil
 }

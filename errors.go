@@ -1,0 +1,34 @@
+package rewire
+
+import (
+	"errors"
+
+	"rewire/internal/osn"
+)
+
+// Sentinel errors of the public SDK. Match them with errors.Is: sampling
+// paths wrap them with situational detail.
+var (
+	// ErrBudgetExhausted reports that the session's demand-query budget
+	// (Provider.SetBudget) is spent. The session remains valid: raise the
+	// budget and stream again — the cache, the overlay, and every walker
+	// position survive, so sampling resumes exactly where it stopped.
+	ErrBudgetExhausted = osn.ErrBudgetExhausted
+
+	// ErrNoSuchUser reports a query outside the backend's user-ID space.
+	ErrNoSuchUser = osn.ErrNoSuchUser
+
+	// ErrDisconnected reports that a walker is positioned on a node with no
+	// neighbors, so its chain cannot make progress. Start the session from a
+	// connected node (WithStarts) to avoid it.
+	ErrDisconnected = errors.New("rewire: walker start has no neighbors")
+
+	// ErrActiveStream reports an attempt to start a stream or estimate on a
+	// session whose previous run has not finished. Sessions serialize runs;
+	// walkers are single-goroutine state.
+	ErrActiveStream = errors.New("rewire: session already has an active run")
+
+	// ErrNoOverlay reports an overlay operation on a session whose algorithm
+	// does not rewire (anything but AlgMTO).
+	ErrNoOverlay = errors.New("rewire: session has no rewired overlay")
+)

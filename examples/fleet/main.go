@@ -3,22 +3,20 @@
 // single caching client and a single rewired overlay — so every walker
 // benefits from every other walker's discovered topology and the whole
 // fleet draws on one query budget. For contrast, the same walkers are then
-// run in isolation (private caches, private overlays), which multiplies the
-// unique-query bill for the same sample count.
+// run in isolation (private sessions, private caches, private overlays),
+// which multiplies the unique-query bill for the same sample count. Built
+// entirely on the public rewire SDK.
 //
 //	go run ./examples/fleet
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"rewire/internal/core"
-	"rewire/internal/gen"
-	"rewire/internal/osn"
-	"rewire/internal/rng"
-	"rewire/internal/walk"
+	"rewire"
 )
 
 const (
@@ -26,53 +24,70 @@ const (
 	samples = 4000
 )
 
-// provider is the paper's Facebook quota plus a real 1ms round-trip per
+// limits is the paper's Facebook quota plus a real 1ms round-trip per
 // query, so walkers genuinely wait on the wire — the wait a concurrent
 // fleet overlaps and a sequential crawler pays in full.
-func provider() osn.Config {
-	cfg := osn.FacebookLimits()
-	cfg.RealLatency = time.Millisecond
-	return cfg
+func limits() rewire.Limits {
+	l := rewire.FacebookLimits()
+	l.RealLatency = time.Millisecond
+	return l
 }
 
 func main() {
-	g, err := gen.Social(gen.SocialConfig{Nodes: 2659, TargetEdges: 10012}, rng.New(42))
+	ctx := context.Background()
+	g, err := rewire.SocialGraph(2659, 10012, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("graph: %d nodes, %d edges; provider quota: Facebook (600 queries / 600s), 1ms round-trip\n\n",
 		g.NumNodes(), g.NumEdges())
 
-	starts := core.SpreadStarts(walkers, g.NumNodes(), rng.New(7))
-
 	// --- Shared fleet: one API key, one cache, one overlay -----------------
-	svc := osn.NewService(g, nil, provider())
-	client := osn.NewClient(svc)
-	fleet, ov := core.NewFleet(client, starts, core.DefaultConfig(), rng.New(1))
+	shared := rewire.Simulate(g, limits())
+	fleet, err := rewire.NewSession(shared, rewire.WithFleet(walkers), rewire.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Before the first run, Positions() is the seeded spread of start nodes;
+	// pin the isolated control arm to the same starts so the comparison
+	// isolates cache/overlay sharing, not start placement.
+	starts := fleet.Positions()
 	t0 := time.Now()
-	drawn := fleet.Samples(samples)
+	drawn, err := fleet.Samples(ctx, samples)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fleetWall := time.Since(t0)
+	perWalker := make([]int, walkers)
+	for _, s := range drawn {
+		perWalker[s.Walker]++
+	}
+	removed, added := fleet.Rewired()
 
 	fmt.Printf("shared fleet (%d walkers, one budget):\n", walkers)
 	fmt.Printf("  samples drawn        %d\n", len(drawn))
-	fmt.Printf("  per-walker share     %v\n", walk.PerWalker(drawn, walkers))
-	fmt.Printf("  unique queries       %d\n", client.UniqueQueries())
-	fmt.Printf("  rate-limit waits     %d\n", svc.RateLimitWaits())
-	fmt.Printf("  simulated elapsed    %v\n", svc.SimulatedElapsed())
+	fmt.Printf("  per-walker share     %v\n", perWalker)
+	fmt.Printf("  unique queries       %d\n", shared.UniqueQueries())
+	fmt.Printf("  rate-limit waits     %d\n", shared.RateLimitWaits())
+	fmt.Printf("  simulated elapsed    %v\n", shared.SimulatedElapsed())
 	fmt.Printf("  wall-clock           %v\n", fleetWall.Round(time.Millisecond))
-	fmt.Printf("  overlay rewiring     %d removals, %d additions\n\n", ov.RemovedCount(), ov.AddedCount())
+	fmt.Printf("  overlay rewiring     %d removals, %d additions\n\n", removed, added)
 
 	// --- Isolated walkers: k API keys, k caches, k overlays ----------------
 	var isolatedQueries, isolatedWaits int64
-	r := rng.New(1)
 	t1 := time.Now()
 	for i := 0; i < walkers; i++ {
-		svcI := osn.NewService(g, nil, provider())
-		clientI := osn.NewClient(svcI)
-		s := core.NewSampler(clientI, starts[i], core.DefaultConfig(), r.Split())
-		walk.Run(s, samples/walkers)
-		isolatedQueries += clientI.UniqueQueries()
-		isolatedWaits += svcI.RateLimitWaits()
+		p := rewire.Simulate(g, limits())
+		solo, err := rewire.NewSession(p,
+			rewire.WithStarts(starts[i]), rewire.WithSeed(uint64(100+i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := solo.Samples(ctx, samples/walkers); err != nil {
+			log.Fatal(err)
+		}
+		isolatedQueries += p.UniqueQueries()
+		isolatedWaits += p.RateLimitWaits()
 	}
 	isolatedWall := time.Since(t1)
 	fmt.Printf("isolated walkers (%d private budgets, same %d total samples, run back to back):\n", walkers, samples)
@@ -80,7 +95,7 @@ func main() {
 	fmt.Printf("  rate-limit waits     %d\n", isolatedWaits)
 	fmt.Printf("  wall-clock           %v\n", isolatedWall.Round(time.Millisecond))
 
-	saved := isolatedQueries - client.UniqueQueries()
+	saved := isolatedQueries - shared.UniqueQueries()
 	fmt.Printf("\nsharing the cache and overlay saved %d unique queries (%.1f%% of the isolated bill), "+
 		"and overlapping round-trips cut wall-clock %.1fx\n",
 		saved, 100*float64(saved)/float64(isolatedQueries), float64(isolatedWall)/float64(fleetWall))

@@ -5,100 +5,86 @@
 // trajectories and pay the byte-identical unique-query bill; the only thing
 // speculation buys is wall-clock, because by the time the walk demands a
 // node, its round-trip has usually already happened. The same contrast is
-// then shown for a single MTO sampler with pivot-candidate hints.
+// then shown for an MTO session (inner-loop and Theorem 4 pivot hints) —
+// all of it on the public rewire SDK.
 //
 //	go run ./examples/prefetch
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"rewire/internal/core"
-	"rewire/internal/gen"
-	"rewire/internal/graph"
-	"rewire/internal/osn"
-	"rewire/internal/rng"
-	"rewire/internal/walk"
+	"rewire"
 )
 
 const (
-	walkers  = 4
-	samples  = 4000
-	mtoSteps = 1500
-	latency  = time.Millisecond
+	walkers = 4
+	samples = 4000
+	latency = time.Millisecond
 )
 
-var pool = osn.PrefetchConfig{Workers: 32, Depth: 2, Queue: 8192}
+func run(g *rewire.Graph, alg rewire.Algorithm, k, total int, prefetch bool) (time.Duration, *rewire.Provider) {
+	osn := rewire.Simulate(g, rewire.Limits{RealLatency: latency})
+	opts := []rewire.Option{
+		rewire.WithAlgorithm(alg),
+		rewire.WithFleet(k),
+		rewire.WithSeed(7),
+		rewire.WithPartitionedBudget(true),
+	}
+	if prefetch {
+		opts = append(opts, rewire.WithPrefetch(rewire.PrefetchOptions{
+			Strategy: rewire.PrefetchFrontier,
+			TopK:     8,
+			Workers:  32,
+			Depth:    2,
+			Queue:    8192,
+		}))
+	}
+	s, err := rewire.NewSession(osn, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	begin := time.Now()
+	if _, err := s.Samples(context.Background(), total); err != nil {
+		log.Fatal(err)
+	}
+	return time.Since(begin), osn
+}
 
 func main() {
-	g, err := gen.Social(gen.SocialConfig{Nodes: 2659, TargetEdges: 10012}, rng.New(42))
+	g, err := rewire.SocialGraph(2659, 10012, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("graph: %d nodes, %d edges; provider round-trip %v\n\n", g.NumNodes(), g.NumEdges(), latency)
 
 	// --- SRW fleet: cold vs frontier-prefetched ---------------------------
-	coldWall, coldClient, coldSvc := runFleet(g, false)
+	coldWall, cold := run(g, rewire.AlgSRW, walkers, samples, false)
 	fmt.Printf("SRW fleet (k=%d, %d samples, partitioned budget):\n", walkers, samples)
 	fmt.Printf("  no prefetch     wall %-8v unique %-5d service round-trips %d\n",
-		coldWall.Round(time.Millisecond), coldClient.UniqueQueries(), coldSvc.TotalQueries())
-
-	warmWall, warmClient, warmSvc := runFleet(g, true)
-	stats := warmClient.PrefetchStats()
+		coldWall.Round(time.Millisecond), cold.UniqueQueries(), cold.TotalQueries())
+	warmWall, warm := run(g, rewire.AlgSRW, walkers, samples, true)
+	stats := warm.PrefetchStats()
 	fmt.Printf("  frontier top-8  wall %-8v unique %-5d service round-trips %d\n",
-		warmWall.Round(time.Millisecond), warmClient.UniqueQueries(), warmSvc.TotalQueries())
+		warmWall.Round(time.Millisecond), warm.UniqueQueries(), warm.TotalQueries())
 	fmt.Printf("  speedup %.1fx at identical query bills (%d == %d); pool fetched %d, %d speculative responses never demanded\n\n",
-		float64(coldWall)/float64(warmWall), coldClient.UniqueQueries(), warmClient.UniqueQueries(),
+		float64(coldWall)/float64(warmWall), cold.UniqueQueries(), warm.UniqueQueries(),
 		stats.Fetched, stats.Unused)
+	if cold.UniqueQueries() != warm.UniqueQueries() {
+		log.Fatalf("prefetch changed the SRW query bill: %d vs %d", cold.UniqueQueries(), warm.UniqueQueries())
+	}
 
-	// --- MTO sampler: pivot-candidate hints -------------------------------
-	mtoCold, mtoColdClient, _ := runMTO(g, false)
-	fmt.Printf("MTO sampler (1 walker, %d steps, Theorem 4 pivot hints):\n", mtoSteps)
+	// --- MTO session: inner-loop + pivot-candidate hints ------------------
+	mtoCold, mtoColdP := run(g, rewire.AlgMTO, 1, 1500, false)
+	fmt.Printf("MTO session (1 walker, 1500 samples, Theorem 4 pivot hints):\n")
 	fmt.Printf("  no prefetch     wall %-8v unique %d\n",
-		mtoCold.Round(time.Millisecond), mtoColdClient.UniqueQueries())
-	mtoWarm, mtoWarmClient, _ := runMTO(g, true)
+		mtoCold.Round(time.Millisecond), mtoColdP.UniqueQueries())
+	mtoWarm, mtoWarmP := run(g, rewire.AlgMTO, 1, 1500, true)
 	fmt.Printf("  pivot prefetch  wall %-8v unique %d\n",
-		mtoWarm.Round(time.Millisecond), mtoWarmClient.UniqueQueries())
+		mtoWarm.Round(time.Millisecond), mtoWarmP.UniqueQueries())
 	fmt.Printf("  speedup %.1fx — the inner-loop re-picks and replacement targets coalesce onto in-flight speculation\n",
 		float64(mtoCold)/float64(mtoWarm))
-}
-
-func runFleet(g *graph.Graph, prefetch bool) (time.Duration, *osn.Client, *osn.Service) {
-	svc := osn.NewService(g, nil, osn.Config{RealLatency: latency})
-	var client *osn.Client
-	if prefetch {
-		client = osn.NewPrefetchingClient(svc, pool)
-	} else {
-		client = osn.NewClient(svc)
-	}
-	starts := core.SpreadStarts(walkers, g.NumNodes(), rng.New(7))
-	fleet := walk.NewFleetSimple(client, starts, rng.New(1))
-	if prefetch {
-		fleet = fleet.Prefetched(func() walk.Prefetcher { return walk.NewFrontier(client, 8) })
-	}
-	t0 := time.Now()
-	fleet.SamplesPartitioned(samples)
-	wall := time.Since(t0)
-	client.StopPrefetch()
-	return wall, client, svc
-}
-
-func runMTO(g *graph.Graph, prefetch bool) (time.Duration, *osn.Client, *osn.Service) {
-	svc := osn.NewService(g, nil, osn.Config{RealLatency: latency})
-	var client *osn.Client
-	cfg := core.DefaultConfig()
-	if prefetch {
-		client = osn.NewPrefetchingClient(svc, pool)
-		cfg.Prefetch = true
-	} else {
-		client = osn.NewClient(svc)
-	}
-	s := core.NewSampler(client, 0, cfg, rng.New(3))
-	t0 := time.Now()
-	walk.Run(s, mtoSteps)
-	wall := time.Since(t0)
-	client.StopPrefetch()
-	return wall, client, svc
 }

@@ -1,87 +1,83 @@
-// Quickstart: rewire the paper's barbell running example and watch the
-// conductance and mixing time improve, then compare SRW and MTO sampling
-// through a simulated restrictive interface.
+// Quickstart: the public rewire SDK end to end, on nothing but the root
+// package. Rewire the paper's barbell running example and watch the
+// conductance improve, then compare SRW and MTO sampling through a simulated
+// restrictive interface — with a context deadline bounding the whole run.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"rewire/internal/core"
-	"rewire/internal/diag"
-	"rewire/internal/estimate"
-	"rewire/internal/gen"
-	"rewire/internal/graph"
-	"rewire/internal/osn"
-	"rewire/internal/rng"
-	"rewire/internal/spectral"
-	"rewire/internal/stats"
-	"rewire/internal/walk"
+	"rewire"
 )
 
 func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
 	// 1. The 22-node barbell of the paper's Fig 1: two 11-cliques and one
 	// bridge. Its conductance is terrible, so simple random walks take
 	// forever to mix.
-	g := gen.Barbell(11)
-	phi, _, err := spectral.ExactConductance(g)
+	g := rewire.Barbell(11)
+	phi, err := rewire.Conductance(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mixing, err := spectral.GraphMixingTime(g)
+	mixing, err := rewire.MixingTime(g)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("barbell: %d nodes, %d edges, conductance %.4f, SLEM mixing time %.1f\n",
 		g.NumNodes(), g.NumEdges(), phi, mixing)
 
-	// 2. Run the MTO-Sampler until it has visited every node; its overlay
-	// is the rewired topology the walk actually followed.
-	s := core.NewSampler(g, 0, core.DefaultConfig(), rng.New(1))
-	core.WalkToCoverage(s, g.NumNodes(), 100000)
-	overlay := s.Overlay().Materialize(g.NumNodes())
-	phiStar, _, err := spectral.ExactConductance(overlay)
+	// 2. Run an MTO session over the graph; the overlay it leaves behind is
+	// the rewired topology the walk actually followed.
+	s, err := rewire.NewSession(rewire.GraphSource(g), rewire.WithStarts(0), rewire.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	mixingStar, err := spectral.GraphMixingTime(overlay)
+	if _, err := s.Samples(ctx, 5000); err != nil {
+		log.Fatal(err)
+	}
+	overlay, err := s.MaterializeOverlay()
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := s.Stats()
-	fmt.Printf("overlay: %d edges after %d removals + %d replacements\n",
-		overlay.NumEdges(), st.Removals, st.Replacements)
+	phiStar, err := rewire.Conductance(overlay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mixingStar, err := rewire.MixingTime(overlay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	removed, added := s.Rewired()
+	fmt.Printf("overlay: %d edges after %d removals + %d additions\n",
+		overlay.NumEdges(), removed, added)
 	fmt.Printf("overlay: conductance %.4f (%.1fx), mixing time %.1f (-%.0f%%)\n",
 		phiStar, phiStar/phi, mixingStar, 100*(1-mixingStar/mixing))
 
 	// 3. Estimate the average degree through the restrictive interface with
 	// both samplers and compare unique-query cost.
-	truth := estimate.GroundTruthDegree(g)
-	for _, alg := range []string{"SRW", "MTO"} {
-		svc := osn.NewService(g, nil, osn.Config{})
-		client := osn.NewClient(svc)
-		r := rng.New(7)
-		var walker walk.Walker
-		var weighter walk.Weighter
-		if alg == "SRW" {
-			w := walk.NewSimple(client, 0, r)
-			walker, weighter = w, w
-		} else {
-			m := core.NewSampler(client, 0, core.DefaultConfig(), r)
-			walker, weighter = m, m
+	truth := g.AverageDegree()
+	for _, alg := range []rewire.Algorithm{rewire.AlgSRW, rewire.AlgMTO} {
+		osn := rewire.Simulate(g, rewire.Limits{})
+		est, err := rewire.NewSession(osn,
+			rewire.WithAlgorithm(alg), rewire.WithStarts(0), rewire.WithSeed(1))
+		if err != nil {
+			log.Fatal(err)
 		}
-		info := func(v graph.NodeID) (int, estimate.Attrs) {
-			return client.Degree(v), estimate.Attrs{}
+		res, err := est.Estimate(ctx, rewire.AvgDegree(),
+			rewire.EstimateOptions{Samples: 2000, BurnIn: true, GewekeThreshold: 0.2})
+		if err != nil {
+			log.Fatal(err)
 		}
-		res := estimate.RunSession(walker, weighter, estimate.AvgDegree(), info,
-			client.UniqueQueries, estimate.SessionConfig{
-				BurnIn:  diag.NewGeweke(0.2, 100),
-				Samples: 2000,
-			})
 		fmt.Printf("%s: estimate %.3f (truth %.3f, rel err %.3f), %d unique queries, burn-in %d steps\n",
-			alg, res.Estimate, truth, stats.RelativeError(res.Estimate, truth),
-			res.FinalCost, res.BurnInSteps)
+			alg, res.Estimate, truth, rewire.RelativeError(res.Estimate, truth),
+			res.UniqueQueries, res.BurnInSteps)
 	}
 }

@@ -26,6 +26,12 @@ type Overlay struct {
 	// pf is the base's prefetch capability (nil when the base cannot warm
 	// its cache asynchronously, e.g. a local *graph.Graph).
 	pf walk.PrefetchSource
+	// failer is the base's failure-reporting capability (a walk.Bound under
+	// a cancellable session). When it reports an error, base reads are
+	// returning truncated (nil) lists; the overlay must not let those poison
+	// its materialized-list cache — a cancelled run may be resumed with a
+	// fresh context, and the cache outlives the cancellation.
+	failer walk.Failing
 
 	mu      sync.RWMutex
 	removed map[graph.EdgeKey]struct{}
@@ -45,9 +51,11 @@ type Overlay struct {
 // NewOverlay wraps base with an empty delta.
 func NewOverlay(base walk.Source) *Overlay {
 	pf, _ := base.(walk.PrefetchSource)
+	failer, _ := base.(walk.Failing)
 	return &Overlay{
 		base:       base,
 		pf:         pf,
+		failer:     failer,
 		removed:    make(map[graph.EdgeKey]struct{}),
 		added:      make(map[graph.EdgeKey]struct{}),
 		addedAdj:   make(map[graph.NodeID][]graph.NodeID),
@@ -76,9 +84,23 @@ func (o *Overlay) Neighbors(v graph.NodeID) []graph.NodeID {
 	// lists are immutable per node, so the early fetch is safe; the
 	// materialization below re-reads it as a cache hit.
 	o.base.Neighbors(v)
+	if o.failed() {
+		// The warm-up read was aborted (cancellation, deadline, budget):
+		// return nil like an absorbing read, WITHOUT materializing — caching
+		// a truncated list here would corrupt every later run over this
+		// overlay.
+		return nil
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.materializeLocked(v)
+}
+
+// failed reports whether the base source is currently in a failed state
+// (only ever true for failure-reporting bases, i.e. a walk.Bound whose run
+// was cancelled or ran out of budget).
+func (o *Overlay) failed() bool {
+	return o.failer != nil && o.failer.Err() != nil
 }
 
 // cachedList returns v's materialized overlay list if one exists, without
@@ -194,6 +216,12 @@ func (o *Overlay) materializeLocked(v graph.NodeID) []graph.NodeID {
 	if extra := o.addedAdj[v]; len(extra) > 0 {
 		lst = append(lst, extra...)
 		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+	}
+	if o.failed() {
+		// The base read may have been truncated by a cancelled run: hand the
+		// caller a best-effort list (errors fail toward no mutation in the
+		// guarded commits) but do not cache it past the failure.
+		return lst
 	}
 	o.lists[v] = lst
 	return lst

@@ -230,6 +230,17 @@ func (s *Sampler) Current() graph.NodeID { return s.cur }
 // Overlay exposes the evolving rewired topology.
 func (s *Sampler) Overlay() *Overlay { return s.ov }
 
+// Err reports the base source's sticky failure (cancellation, deadline,
+// budget exhaustion) when the overlay's base tracks one — the walk.Failing
+// capability a fleet uses to retire the sampler instead of spinning on
+// absorbing nil reads.
+func (s *Sampler) Err() error {
+	if f, ok := s.ov.base.(walk.Failing); ok {
+		return f.Err()
+	}
+	return nil
+}
+
 // Stats returns rewiring counters.
 func (s *Sampler) Stats() Stats { return s.stats }
 
@@ -242,6 +253,9 @@ func (s *Sampler) Stats() Stats { return s.stats }
 func (s *Sampler) Step() graph.NodeID {
 	defer func() { s.stats.Steps++ }()
 	for iter := 0; iter < s.cfg.MaxInner; iter++ {
+		if s.ov.failed() {
+			return s.cur // query path failed: hold position for a resume
+		}
 		nbrs := s.ov.Neighbors(s.cur)
 		if len(nbrs) == 0 {
 			return s.cur // isolated: absorbing, same as SRW

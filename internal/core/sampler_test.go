@@ -120,7 +120,7 @@ func TestSamplerStationaryMatchesOverlayDegrees(t *testing.T) {
 	for u := range want {
 		want[u] = float64(ov.Degree(graph.NodeID(u)))
 	}
-	if tv := stats.TotalVariation(h.Distribution(), want); tv > 0.03 {
+	if tv, err := stats.TotalVariation(h.Distribution(), want); err != nil || tv > 0.03 {
 		t.Errorf("TV distance from overlay-degree distribution = %v", tv)
 	}
 }

@@ -31,6 +31,12 @@ type SessionConfig struct {
 	Thinning int
 	// RecordEvery sets the trajectory granularity in samples (default 1).
 	RecordEvery int
+	// Stop, when non-nil, is polled once per walk step; returning true ends
+	// the session early (burn-in or sampling alike) with whatever has been
+	// accumulated. This is how a context-bound caller threads cancellation
+	// and budget exhaustion through the estimation loop without the loop
+	// importing context.
+	Stop func() bool
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -84,10 +90,21 @@ func RunSession(w walk.Walker, weight walk.Weighter, agg Aggregate, info InfoFun
 	var res SessionResult
 	res.Trajectory = &Trajectory{}
 
+	stopped := func() bool { return cfg.Stop != nil && cfg.Stop() }
+
 	// Burn-in phase: observe the degree trace until convergence.
 	if cfg.BurnIn != nil {
 		for res.BurnInSteps < cfg.MaxBurnInSteps {
+			if stopped() {
+				break
+			}
 			v := step()
+			if stopped() {
+				// The step's query path failed: v is stale and its degree
+				// would read as garbage — keep it out of the convergence
+				// trace (mirrors the sampling phase's post-step guard).
+				break
+			}
 			res.BurnInSteps++
 			deg, _ := info(v)
 			cfg.BurnIn.Observe(float64(deg))
@@ -101,9 +118,19 @@ func RunSession(w walk.Walker, weight walk.Weighter, agg Aggregate, info InfoFun
 	// Sampling phase.
 	var est ImportanceSampler
 	for i := 0; i < cfg.Samples; i++ {
+		if stopped() {
+			break
+		}
 		var v graph.NodeID
 		for s := 0; s < cfg.Thinning; s++ {
 			v = step()
+		}
+		if stopped() {
+			// The step's query path failed mid-walk (cancellation, budget):
+			// v is a stale position whose info read would observe garbage
+			// (e.g. degree 0) — drop it rather than poison the partial
+			// estimate.
+			break
 		}
 		deg, attrs := info(v)
 		f := agg.Value(v, deg, attrs)

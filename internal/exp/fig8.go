@@ -101,7 +101,10 @@ func measureBias(ds Dataset, alg string, cfg Fig8Config, r *rng.Rand) (Fig8Cell,
 	}
 	// Finite samples cannot hit every node; smooth with mass 1/(10·samples).
 	eps := 1.0 / (10 * float64(cfg.Samples))
-	kl := stats.SymmetricKL(ideal, hist.Distribution(), eps)
+	kl, err := stats.SymmetricKL(ideal, hist.Distribution(), eps)
+	if err != nil {
+		return Fig8Cell{}, err
+	}
 	return Fig8Cell{
 		Dataset:   ds.Name,
 		Algorithm: alg,

@@ -23,6 +23,8 @@ func NewDigraphBuilder(n int) *DigraphBuilder {
 }
 
 // AddArc records the directed arc u -> v. Self-loops are dropped.
+// Out-of-range endpoints panic: generator bugs should fail loudly (file
+// loaders validate IDs before ever reaching a builder).
 func (b *DigraphBuilder) AddArc(u, v NodeID) {
 	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
 		panic("graph: AddArc endpoint out of range")

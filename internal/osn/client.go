@@ -1,6 +1,7 @@
 package osn
 
 import (
+	"context"
 	"sync"
 
 	"rewire/internal/graph"
@@ -15,11 +16,12 @@ type inflight struct {
 	done chan struct{}
 	resp Response
 	err  error
-	// demanded records whether any demand-path caller (Query, QueryBatch, a
-	// waiter that coalesced onto this fetch) needs the result. Guarded by
-	// Client.mu. A fetch that stays speculative end to end commits without
-	// touching the unique-query ledger.
-	demanded bool
+	// demand counts the demand-path callers (Query, QueryBatch, waiters that
+	// coalesced onto this fetch) currently needing the result. Guarded by
+	// Client.mu. A waiter whose context is cancelled before the fetch commits
+	// withdraws its demand; a fetch whose demand count is zero at commit time
+	// stays speculative and does not touch the unique-query ledger.
+	demand int
 }
 
 // cacheEntry is one stored response. Speculative entries were fetched by the
@@ -59,6 +61,14 @@ type Client struct {
 	cache  map[graph.NodeID]cacheEntry
 	flight map[graph.NodeID]*inflight
 	unique int64
+	// budget caps unique (demand) queries when positive; the demand path
+	// returns ErrBudgetExhausted rather than billing past it.
+	budget int64
+	// reserved counts in-flight fetches that carry demand (each will bill
+	// exactly one unique query when it commits successfully). Budget checks
+	// test unique+reserved so that concurrent misses cannot collectively
+	// overshoot the cap between pre-check and commit.
+	reserved int64
 	// speculative counts cache entries fetched ahead of demand and not yet
 	// consumed — the pool's outstanding bet.
 	speculative int64
@@ -80,21 +90,62 @@ func NewClient(svc *Service) *Client {
 	}
 }
 
+// SetBudget caps the number of unique (demand) queries at n; once the ledger
+// reaches n, the demand path returns ErrBudgetExhausted instead of billing
+// past the cap. n <= 0 removes the cap. The budget is a demand-side guard —
+// the speculative pool has its own (PrefetchConfig.Budget) — and it is safe
+// to raise mid-run to resume an exhausted walk.
+func (c *Client) SetBudget(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = n
+}
+
+// overBudgetLocked reports whether committing to one more unique query —
+// on top of those already billed AND those reserved by in-flight demanded
+// fetches — would exceed the configured budget. Callers hold c.mu.
+func (c *Client) overBudgetLocked() bool {
+	return c.budget > 0 && c.unique+c.reserved >= c.budget
+}
+
 // Query returns q(v), from cache when possible. Only cache misses reach the
 // service, and only demanded responses count toward UniqueQueries: a
 // response the prefetch pool fetched speculatively is billed here, on first
 // demand, exactly once.
 func (c *Client) Query(v graph.NodeID) (Response, error) {
+	return c.QueryContext(context.Background(), v)
+}
+
+// QueryContext is Query bound to a context: a cache miss's provider
+// round-trip honors ctx (see Service.QueryContext), and a caller coalescing
+// onto someone else's in-flight fetch stops waiting when ctx is cancelled.
+//
+// Billing stays exact under cancellation. A waiter that gives up before the
+// shared fetch commits withdraws its demand, so a fetch nobody ended up
+// needing commits speculative (billed only when a later demand consumes it),
+// and a fetch that fails (including by cancellation of the goroutine driving
+// the round-trip) bills nothing and caches nothing — the next demand retries
+// it. Coalesced waiters share the driving fetch's fate, errors included,
+// exactly like singleflight; a waiter that sees a context error not its own
+// may simply retry.
+func (c *Client) QueryContext(ctx context.Context, v graph.NodeID) (Response, error) {
 	c.mu.RLock()
 	e, ok := c.cache[v]
 	c.mu.RUnlock()
 	if ok && !e.speculative {
 		return e.resp, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
 	c.mu.Lock()
 	if e, ok := c.cache[v]; ok {
 		if e.speculative {
 			// First demand touch of a prefetched response: bill it now.
+			if c.overBudgetLocked() {
+				c.mu.Unlock()
+				return Response{}, ErrBudgetExhausted
+			}
 			e.speculative = false
 			c.cache[v] = e
 			c.unique++
@@ -105,21 +156,61 @@ func (c *Client) Query(v graph.NodeID) (Response, error) {
 	}
 	if f, ok := c.flight[v]; ok {
 		// Someone else — a sibling walker or the prefetch pool — is already
-		// fetching v: mark the fetch demanded so commit bills it, then wait
-		// for the shared round-trip.
-		f.demanded = true
-		c.mu.Unlock()
-		<-f.done
-		if f.err != nil {
-			return Response{}, f.err
+		// fetching v: register demand so commit bills it, then wait for the
+		// shared round-trip. Budget is consulted (and a reservation taken)
+		// only when this is the fetch's FIRST demand; coalescing onto an
+		// already-demanded fetch costs nothing.
+		if f.demand == 0 {
+			if c.overBudgetLocked() {
+				c.mu.Unlock()
+				return Response{}, ErrBudgetExhausted
+			}
+			c.reserved++
 		}
-		return f.resp, nil
+		f.demand++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return Response{}, f.err
+			}
+			return f.resp, nil
+		case <-ctx.Done():
+			// Withdraw the demand unless the fetch already committed (the
+			// flight entry is removed under the lock before done is closed,
+			// so checking it decides the race consistently).
+			c.mu.Lock()
+			withdrawn := false
+			if _, still := c.flight[v]; still {
+				f.demand--
+				if f.demand == 0 {
+					c.reserved-- // last demander gone: release the reservation
+				}
+				withdrawn = true
+			}
+			c.mu.Unlock()
+			if !withdrawn {
+				// Commit won: the response (if any) is cached and billed on
+				// this walker's behalf — return it rather than the late
+				// cancellation.
+				<-f.done
+				if f.err == nil {
+					return f.resp, nil
+				}
+			}
+			return Response{}, ctx.Err()
+		}
 	}
-	f := &inflight{done: make(chan struct{}), demanded: true}
+	if c.overBudgetLocked() {
+		c.mu.Unlock()
+		return Response{}, ErrBudgetExhausted
+	}
+	f := &inflight{done: make(chan struct{}), demand: 1}
+	c.reserved++
 	c.flight[v] = f
 	c.mu.Unlock()
 
-	f.resp, f.err = c.svc.Query(v)
+	f.resp, f.err = c.svc.QueryContext(ctx, v)
 	c.commit(v, f)
 	if f.err != nil {
 		return Response{}, f.err
@@ -128,13 +219,17 @@ func (c *Client) Query(v graph.NodeID) (Response, error) {
 }
 
 // commit publishes a finished fetch: the response enters the cache (tagged
-// speculative when no demand caller ever touched the fetch), the ledger is
-// billed for demanded fetches, and waiters are released.
+// speculative when no demand caller still wants the fetch), the ledger is
+// billed for demanded fetches, and waiters are released. Failed fetches
+// cache nothing and bill nothing — the next demand retries.
 func (c *Client) commit(v graph.NodeID, f *inflight) {
 	c.mu.Lock()
+	if f.demand > 0 {
+		c.reserved-- // the reservation resolves here: into a bill or a retry
+	}
 	if f.err == nil {
-		c.cache[v] = cacheEntry{resp: f.resp, speculative: !f.demanded}
-		if f.demanded {
+		c.cache[v] = cacheEntry{resp: f.resp, speculative: f.demand == 0}
+		if f.demand > 0 {
 			c.unique++
 		} else {
 			c.speculative++
@@ -146,13 +241,14 @@ func (c *Client) commit(v graph.NodeID, f *inflight) {
 }
 
 // fetchSpeculative is the prefetch worker's fetch path: skip anything cached
-// or already in flight, otherwise perform the round-trip without marking the
-// fetch demanded. It reports whether this call performed a service
-// round-trip; when someone else's fetch is in flight it returns that fetch
-// instead, so a depth-carrying job can await the result and still expand the
-// frontier behind it — the common case for next-hop hints, which lose the
-// race against the walker's own demand query almost every time.
-func (c *Client) fetchSpeculative(v graph.NodeID) (resp Response, fetched bool, pending *inflight) {
+// or already in flight, otherwise perform the round-trip (bound to the
+// pool's context) without registering demand. It reports whether this call
+// performed a service round-trip; when someone else's fetch is in flight it
+// returns that fetch instead, so a depth-carrying job can await the result
+// and still expand the frontier behind it — the common case for next-hop
+// hints, which lose the race against the walker's own demand query almost
+// every time.
+func (c *Client) fetchSpeculative(ctx context.Context, v graph.NodeID) (resp Response, fetched bool, pending *inflight) {
 	c.mu.Lock()
 	if e, ok := c.cache[v]; ok {
 		c.mu.Unlock()
@@ -166,7 +262,7 @@ func (c *Client) fetchSpeculative(v graph.NodeID) (resp Response, fetched bool, 
 	c.flight[v] = f
 	c.mu.Unlock()
 
-	f.resp, f.err = c.svc.Query(v)
+	f.resp, f.err = c.svc.QueryContext(ctx, v)
 	c.commit(v, f)
 	return f.resp, f.err == nil, nil
 }
@@ -179,6 +275,15 @@ func (c *Client) fetchSpeculative(v graph.NodeID) (resp Response, fetched bool, 
 // race for it. The first error (if any) is returned after all fetches
 // settle.
 func (c *Client) QueryBatch(ids []graph.NodeID) ([]Response, error) {
+	return c.QueryBatchContext(context.Background(), ids)
+}
+
+// QueryBatchContext is QueryBatch bound to a context: cancellation or
+// deadline expiry aborts the in-flight misses promptly (see QueryContext for
+// the exact billing semantics) and the call returns the context's error
+// after the per-id fetches settle. Responses already resolved are still
+// returned at their slots.
+func (c *Client) QueryBatchContext(ctx context.Context, ids []graph.NodeID) ([]Response, error) {
 	out := make([]Response, len(ids))
 	errs := make([]error, len(ids))
 	var wg sync.WaitGroup
@@ -193,7 +298,7 @@ func (c *Client) QueryBatch(ids []graph.NodeID) ([]Response, error) {
 		wg.Add(1)
 		go func(i int, v graph.NodeID) {
 			defer wg.Done()
-			out[i], errs[i] = c.Query(v)
+			out[i], errs[i] = c.QueryContext(ctx, v)
 		}(i, v)
 	}
 	wg.Wait()
@@ -203,6 +308,19 @@ func (c *Client) QueryBatch(ids []graph.NodeID) ([]Response, error) {
 		}
 	}
 	return out, nil
+}
+
+// NeighborsContext returns v's neighbor list (shared slice, do not modify),
+// querying on a cache miss with the round-trip bound to ctx. Unlike
+// Neighbors, errors — cancellation, budget exhaustion, unknown IDs — are
+// returned instead of swallowed, which is what lets a cancelled walk
+// distinguish "isolated node" from "aborted query".
+func (c *Client) NeighborsContext(ctx context.Context, v graph.NodeID) ([]graph.NodeID, error) {
+	resp, err := c.QueryContext(ctx, v)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Neighbors, nil
 }
 
 // Neighbors returns v's neighbor list (shared slice, do not modify),

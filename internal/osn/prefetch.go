@@ -1,6 +1,7 @@
 package osn
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -63,7 +64,13 @@ type prefetchPool struct {
 	cfg   PrefetchConfig
 	queue chan prefetchJob
 	quit  chan struct{}
-	wg    sync.WaitGroup
+	// ctx bounds every speculative round-trip the pool performs: when the
+	// parent context passed to StartPrefetchContext is cancelled (a deadline
+	// expiring mid depth-expansion, a session shutting down), in-flight
+	// speculative fetches abort instead of blocking out their RealLatency.
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 
 	enqueued int64
 	dropped  int64
@@ -83,6 +90,16 @@ func NewPrefetchingClient(svc *Service, cfg PrefetchConfig) *Client {
 // StartPrefetch launches the prefetch pool. Starting an already-prefetching
 // client replaces the pool (the old one is stopped first).
 func (c *Client) StartPrefetch(cfg PrefetchConfig) {
+	c.StartPrefetchContext(context.Background(), cfg)
+}
+
+// StartPrefetchContext launches the prefetch pool with every speculative
+// round-trip bound to ctx: when ctx is cancelled or its deadline expires,
+// workers abort their in-flight fetches and stop expanding the frontier —
+// no further speculative provider quota is spent. Aborted fetches commit
+// nothing, so billing invariants are untouched. The pool still needs
+// StopPrefetch (or a fresh StartPrefetch) to release its goroutines.
+func (c *Client) StartPrefetchContext(ctx context.Context, cfg PrefetchConfig) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = DefaultPrefetchWorkers
 	}
@@ -90,11 +107,14 @@ func (c *Client) StartPrefetch(cfg PrefetchConfig) {
 		cfg.Queue = DefaultPrefetchQueue
 	}
 	c.StopPrefetch()
+	pctx, cancel := context.WithCancel(ctx)
 	p := &prefetchPool{
-		c:     c,
-		cfg:   cfg,
-		queue: make(chan prefetchJob, cfg.Queue),
-		quit:  make(chan struct{}),
+		c:      c,
+		cfg:    cfg,
+		queue:  make(chan prefetchJob, cfg.Queue),
+		quit:   make(chan struct{}),
+		ctx:    pctx,
+		cancel: cancel,
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		p.wg.Add(1)
@@ -119,6 +139,11 @@ func (c *Client) StopPrefetch() {
 	}
 	close(p.quit)
 	p.wg.Wait()
+	// Cancel only after the drain: StopPrefetch is graceful (in-flight
+	// speculative round-trips finish and commit); the cancel here just
+	// releases the derived context. Abortive shutdown comes from the parent
+	// context passed to StartPrefetchContext.
+	p.cancel()
 	c.poolMu.Lock()
 	c.retired.Enqueued += atomic.LoadInt64(&p.enqueued)
 	c.retired.Dropped += atomic.LoadInt64(&p.dropped)
@@ -200,13 +225,18 @@ func (p *prefetchPool) worker() {
 }
 
 func (p *prefetchPool) run(j prefetchJob) {
+	if p.ctx.Err() != nil {
+		// Parent context cancelled or deadline expired: stop betting.
+		atomic.AddInt64(&p.skipped, 1)
+		return
+	}
 	if p.cfg.Budget > 0 && atomic.AddInt64(&p.reserved, 1) > p.cfg.Budget {
 		// Budget exhausted: release the reservation and drop the bet.
 		atomic.AddInt64(&p.reserved, -1)
 		atomic.AddInt64(&p.skipped, 1)
 		return
 	}
-	resp, fetched, pending := p.c.fetchSpeculative(j.id)
+	resp, fetched, pending := p.c.fetchSpeculative(p.ctx, j.id)
 	if !fetched {
 		if p.cfg.Budget > 0 {
 			atomic.AddInt64(&p.reserved, -1) // no round-trip happened
@@ -226,6 +256,8 @@ func (p *prefetchPool) run(j prefetchJob) {
 			select {
 			case <-pending.done:
 			case <-p.quit:
+				return
+			case <-p.ctx.Done():
 				return
 			}
 			if pending.err != nil {

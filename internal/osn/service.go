@@ -12,6 +12,7 @@
 package osn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -22,6 +23,12 @@ import (
 
 // ErrNoSuchUser is returned for queries outside the user-ID space.
 var ErrNoSuchUser = errors.New("osn: no such user")
+
+// ErrBudgetExhausted is returned by a Client whose demand-query budget
+// (SetBudget) would be exceeded by the next unique query. The walk that
+// receives it can checkpoint and resume later with a fresh budget — the
+// cache, the overlay, and every walker position survive.
+var ErrBudgetExhausted = errors.New("osn: query budget exhausted")
 
 // Response is the answer to one individual-user query.
 type Response struct {
@@ -96,12 +103,32 @@ func (s *Service) NumUsers() int { return s.g.NumNodes() }
 
 // Query serves q(v), charging simulated latency and honoring the rate limit.
 func (s *Service) Query(v graph.NodeID) (Response, error) {
+	return s.QueryContext(context.Background(), v)
+}
+
+// QueryContext serves q(v) like Query, but the RealLatency round-trip wait is
+// interruptible: when ctx is cancelled or its deadline expires mid-sleep, the
+// call returns ctx's error immediately instead of blocking out the full
+// round-trip. Admission (the simulated clock and rate-limit window) has
+// already happened by then — exactly like aborting an HTTP request after it
+// was sent: the provider-side quota is spent, but no response is obtained, so
+// the Client bills nothing for it.
+func (s *Service) QueryContext(ctx context.Context, v graph.NodeID) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
 	if v < 0 || int(v) >= s.g.NumNodes() {
 		return Response{}, fmt.Errorf("%w: id %d", ErrNoSuchUser, v)
 	}
 	s.admitOne()
 	if s.cfg.RealLatency > 0 {
-		time.Sleep(s.cfg.RealLatency)
+		t := time.NewTimer(s.cfg.RealLatency)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return Response{}, ctx.Err()
+		case <-t.C:
+		}
 	}
 	resp := Response{User: v, Neighbors: s.g.Neighbors(v)}
 	if s.attrs != nil {

@@ -35,7 +35,9 @@ func (c CutStats) Phi() float64 {
 	return float64(c.Cut) / float64(den)
 }
 
-// CutOf computes CutStats for the cut defined by inS.
+// CutOf computes CutStats for the cut defined by inS, whose length must
+// equal the node count (a mismatch panics — the membership vector is always
+// derived from the same graph).
 func CutOf(g *graph.Graph, inS []bool) CutStats {
 	if len(inS) != g.NumNodes() {
 		panic("spectral: CutOf membership length mismatch")
@@ -191,7 +193,8 @@ func CrossCuttingEdges(g *graph.Graph) (map[graph.EdgeKey]bool, error) {
 // SweepCutConductance sorts nodes by score and sweeps prefixes, returning
 // the best paper-definition conductance found and its membership vector.
 // With the D^{-1/2}-scaled second eigenvector as the score this is the
-// classic Cheeger sweep; it upper-bounds the true conductance.
+// classic Cheeger sweep; it upper-bounds the true conductance. A score
+// vector of the wrong length panics (programmer error, as in CutOf).
 func SweepCutConductance(g *graph.Graph, score []float64) (float64, []bool) {
 	n := g.NumNodes()
 	if len(score) != n {

@@ -36,7 +36,9 @@ func (m *Dense) Clone() *Dense {
 	return c
 }
 
-// MulVec computes dst = m * x. dst must have length N and may not alias x.
+// MulVec computes dst = m * x. dst must have length N and may not alias x;
+// a dimension mismatch panics (programmer error — every caller sizes its
+// buffers from the same matrix).
 func (m *Dense) MulVec(dst, x []float64) {
 	if len(dst) != m.N || len(x) != m.N {
 		panic("spectral: MulVec dimension mismatch")
@@ -51,7 +53,8 @@ func (m *Dense) MulVec(dst, x []float64) {
 	}
 }
 
-// Mul returns the matrix product m * other.
+// Mul returns the matrix product m * other. Mismatched dimensions panic
+// (programmer error, as in MulVec).
 func (m *Dense) Mul(other *Dense) *Dense {
 	if m.N != other.N {
 		panic("spectral: Mul dimension mismatch")

@@ -1,12 +1,22 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"sort"
 )
 
+// ErrZeroMass is returned by distribution distances when an input has no
+// positive probability mass — a data-dependent condition (e.g. an empty
+// sampling histogram), not a programming error.
+var ErrZeroMass = errors.New("stats: distribution has no positive mass")
+
+// ErrEmptySample is returned by sample distances when an input sample is
+// empty.
+var ErrEmptySample = errors.New("stats: empty sample")
+
 // normalize returns p scaled to sum 1; it returns nil when the total mass is
-// not positive or lengths mismatch downstream checks will catch it.
+// not positive.
 func normalize(p []float64) []float64 {
 	total := 0.0
 	for _, x := range p {
@@ -31,7 +41,11 @@ func normalize(p []float64) []float64 {
 // with additive smoothing eps (the standard practical fix for finite-sample
 // distributions, which the paper's 20,000-sample measurement also needs);
 // pass eps = 0 to get +Inf in that case instead.
-func KLDivergence(p, q []float64, eps float64) float64 {
+//
+// A zero-mass input (possible with empirical data) is reported as
+// ErrZeroMass. Mismatched lengths panic: the two vectors index the same
+// support by construction, so a mismatch is a programming error.
+func KLDivergence(p, q []float64, eps float64) (float64, error) {
 	if len(p) != len(q) {
 		panic("stats: KLDivergence length mismatch")
 	}
@@ -46,7 +60,7 @@ func KLDivergence(p, q []float64, eps float64) float64 {
 	pn := normalize(pp)
 	qn := normalize(qq)
 	if pn == nil || qn == nil {
-		panic("stats: KLDivergence on zero-mass distribution")
+		return 0, ErrZeroMass
 	}
 	d := 0.0
 	for i := range pn {
@@ -54,7 +68,7 @@ func KLDivergence(p, q []float64, eps float64) float64 {
 			continue
 		}
 		if qn[i] == 0 {
-			return math.Inf(1)
+			return math.Inf(1), nil
 		}
 		d += pn[i] * math.Log(pn[i]/qn[i])
 	}
@@ -62,38 +76,49 @@ func KLDivergence(p, q []float64, eps float64) float64 {
 	if d < 0 && d > -1e-12 {
 		d = 0
 	}
-	return d
+	return d, nil
 }
 
 // SymmetricKL returns the paper's bias measure (§V-A.3):
 // D_KL(P||Psam) + D_KL(Psam||P).
-func SymmetricKL(p, psam []float64, eps float64) float64 {
-	return KLDivergence(p, psam, eps) + KLDivergence(psam, p, eps)
+func SymmetricKL(p, psam []float64, eps float64) (float64, error) {
+	a, err := KLDivergence(p, psam, eps)
+	if err != nil {
+		return 0, err
+	}
+	b, err := KLDivergence(psam, p, eps)
+	if err != nil {
+		return 0, err
+	}
+	return a + b, nil
 }
 
-// TotalVariation returns (1/2) Σ |p_i - q_i| after normalization.
-func TotalVariation(p, q []float64) float64 {
+// TotalVariation returns (1/2) Σ |p_i - q_i| after normalization. Zero-mass
+// inputs are reported as ErrZeroMass; mismatched lengths panic (programming
+// error, as in KLDivergence).
+func TotalVariation(p, q []float64) (float64, error) {
 	if len(p) != len(q) {
 		panic("stats: TotalVariation length mismatch")
 	}
 	pn := normalize(p)
 	qn := normalize(q)
 	if pn == nil || qn == nil {
-		panic("stats: TotalVariation on zero-mass distribution")
+		return 0, ErrZeroMass
 	}
 	d := 0.0
 	for i := range pn {
 		d += math.Abs(pn[i] - qn[i])
 	}
-	return d / 2
+	return d / 2, nil
 }
 
 // KSDistance returns the Kolmogorov–Smirnov distance between the empirical
 // CDFs of two samples (each sorted internally). It is one of the convergence
-// measures the paper cites when comparing SRW and MHRW.
-func KSDistance(a, b []float64) float64 {
+// measures the paper cites when comparing SRW and MHRW. Empty samples are
+// reported as ErrEmptySample.
+func KSDistance(a, b []float64) (float64, error) {
 	if len(a) == 0 || len(b) == 0 {
-		panic("stats: KSDistance on empty sample")
+		return 0, ErrEmptySample
 	}
 	as := append([]float64(nil), a...)
 	bs := append([]float64(nil), b...)
@@ -119,5 +144,5 @@ func KSDistance(a, b []float64) float64 {
 			maxD = d
 		}
 	}
-	return maxD
+	return maxD, nil
 }

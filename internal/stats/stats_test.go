@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -105,15 +106,24 @@ func TestRelativeError(t *testing.T) {
 	}
 }
 
+func mustKL(t *testing.T, p, q []float64, eps float64) float64 {
+	t.Helper()
+	d, err := KLDivergence(p, q, eps)
+	if err != nil {
+		t.Fatalf("KLDivergence: %v", err)
+	}
+	return d
+}
+
 func TestKLDivergenceBasics(t *testing.T) {
 	p := []float64{0.5, 0.5}
 	q := []float64{0.9, 0.1}
-	d := KLDivergence(p, q, 0)
+	d := mustKL(t, p, q, 0)
 	want := 0.5*math.Log(0.5/0.9) + 0.5*math.Log(0.5/0.1)
 	if !almost(d, want, 1e-12) {
 		t.Errorf("KL = %v, want %v", d, want)
 	}
-	if got := KLDivergence(p, p, 0); got != 0 {
+	if got := mustKL(t, p, p, 0); got != 0 {
 		t.Errorf("KL(p||p) = %v, want 0", got)
 	}
 }
@@ -121,15 +131,27 @@ func TestKLDivergenceBasics(t *testing.T) {
 func TestKLDivergenceZeroHandling(t *testing.T) {
 	p := []float64{0.5, 0.5, 0}
 	q := []float64{1, 0, 0}
-	if got := KLDivergence(p, q, 0); !math.IsInf(got, 1) {
+	if got := mustKL(t, p, q, 0); !math.IsInf(got, 1) {
 		t.Errorf("KL with unsupported mass = %v, want +Inf", got)
 	}
-	if got := KLDivergence(p, q, 1e-9); math.IsInf(got, 1) || got < 0 {
+	if got := mustKL(t, p, q, 1e-9); math.IsInf(got, 1) || got < 0 {
 		t.Errorf("smoothed KL = %v, want finite non-negative", got)
 	}
 	// q-only zeros are fine without smoothing.
-	if got := KLDivergence(q, p, 0); math.IsInf(got, 1) {
+	if got := mustKL(t, q, p, 0); math.IsInf(got, 1) {
 		t.Errorf("KL(q||p) = %v, want finite", got)
+	}
+}
+
+func TestKLZeroMassError(t *testing.T) {
+	if _, err := KLDivergence([]float64{0, 0}, []float64{1, 1}, 0); !errors.Is(err, ErrZeroMass) {
+		t.Fatalf("got %v, want ErrZeroMass", err)
+	}
+	if _, err := TotalVariation([]float64{1, 1}, []float64{0, 0}); !errors.Is(err, ErrZeroMass) {
+		t.Fatalf("got %v, want ErrZeroMass", err)
+	}
+	if _, err := KSDistance(nil, []float64{1}); !errors.Is(err, ErrEmptySample) {
+		t.Fatalf("got %v, want ErrEmptySample", err)
 	}
 }
 
@@ -141,7 +163,8 @@ func TestKLNonNegativeProperty(t *testing.T) {
 			p[i] = float64(praw[i]) + 1 // strictly positive
 			q[i] = float64(qraw[i]) + 1
 		}
-		return KLDivergence(p, q, 0) >= 0
+		d, err := KLDivergence(p, q, 0)
+		return err == nil && d >= 0
 	}
 	if err := quick.Check(check, nil); err != nil {
 		t.Error(err)
@@ -151,11 +174,11 @@ func TestKLNonNegativeProperty(t *testing.T) {
 func TestSymmetricKL(t *testing.T) {
 	p := []float64{0.5, 0.5}
 	q := []float64{0.8, 0.2}
-	want := KLDivergence(p, q, 0) + KLDivergence(q, p, 0)
-	if got := SymmetricKL(p, q, 0); !almost(got, want, 1e-12) {
-		t.Errorf("SymmetricKL = %v, want %v", got, want)
+	want := mustKL(t, p, q, 0) + mustKL(t, q, p, 0)
+	if got, err := SymmetricKL(p, q, 0); err != nil || !almost(got, want, 1e-12) {
+		t.Errorf("SymmetricKL = %v (err %v), want %v", got, err, want)
 	}
-	if got := SymmetricKL(q, p, 0); !almost(got, want, 1e-12) {
+	if got, err := SymmetricKL(q, p, 0); err != nil || !almost(got, want, 1e-12) {
 		t.Error("SymmetricKL is not symmetric")
 	}
 }
@@ -172,31 +195,31 @@ func TestKLPanicsOnLengthMismatch(t *testing.T) {
 func TestTotalVariation(t *testing.T) {
 	p := []float64{1, 0}
 	q := []float64{0, 1}
-	if got := TotalVariation(p, q); !almost(got, 1, 1e-12) {
-		t.Errorf("TV = %v, want 1", got)
+	if got, err := TotalVariation(p, q); err != nil || !almost(got, 1, 1e-12) {
+		t.Errorf("TV = %v (err %v), want 1", got, err)
 	}
-	if got := TotalVariation(p, p); got != 0 {
-		t.Errorf("TV(p,p) = %v", got)
+	if got, err := TotalVariation(p, p); err != nil || got != 0 {
+		t.Errorf("TV(p,p) = %v (err %v)", got, err)
 	}
 	// Normalization: unnormalized inputs give the same result.
-	if got := TotalVariation([]float64{2, 2}, []float64{3, 1}); !almost(got, 0.25, 1e-12) {
-		t.Errorf("TV = %v, want 0.25", got)
+	if got, err := TotalVariation([]float64{2, 2}, []float64{3, 1}); err != nil || !almost(got, 0.25, 1e-12) {
+		t.Errorf("TV = %v (err %v), want 0.25", got, err)
 	}
 }
 
 func TestKSDistance(t *testing.T) {
 	a := []float64{1, 2, 3, 4}
 	b := []float64{1, 2, 3, 4}
-	if got := KSDistance(a, b); got != 0 {
-		t.Errorf("KS identical = %v", got)
+	if got, err := KSDistance(a, b); err != nil || got != 0 {
+		t.Errorf("KS identical = %v (err %v)", got, err)
 	}
 	// Disjoint supports: KS = 1.
-	if got := KSDistance([]float64{1, 2}, []float64{10, 20}); !almost(got, 1, 1e-12) {
-		t.Errorf("KS disjoint = %v, want 1", got)
+	if got, err := KSDistance([]float64{1, 2}, []float64{10, 20}); err != nil || !almost(got, 1, 1e-12) {
+		t.Errorf("KS disjoint = %v (err %v), want 1", got, err)
 	}
 	// Half-shifted.
-	got := KSDistance([]float64{1, 2, 3, 4}, []float64{3, 4, 5, 6})
-	if !almost(got, 0.5, 1e-12) {
+	got, err := KSDistance([]float64{1, 2, 3, 4}, []float64{3, 4, 5, 6})
+	if err != nil || !almost(got, 0.5, 1e-12) {
 		t.Errorf("KS shifted = %v, want 0.5", got)
 	}
 }

@@ -1,0 +1,212 @@
+package walk
+
+import (
+	"context"
+	"sync"
+
+	"rewire/internal/graph"
+)
+
+// ContextSource is a Source whose round-trips can be bound to a context, so
+// cancellation and deadlines abort in-flight provider queries instead of
+// blocking out their latency. osn.Client implements it; plain graphs are
+// adapted by AsContextSource.
+type ContextSource interface {
+	Source
+	// NeighborsContext returns v's neighbor list (shared slice, do not
+	// modify), honoring ctx for any round-trip the read requires. Unlike
+	// Neighbors, failures are returned, not swallowed.
+	NeighborsContext(ctx context.Context, v graph.NodeID) ([]graph.NodeID, error)
+}
+
+// AsContextSource adapts any Source to a ContextSource. Sources that already
+// implement the interface are returned unchanged; others get a trivial
+// adapter whose NeighborsContext checks ctx before the (local, non-blocking)
+// read — right for in-memory graphs, whose reads never wait on a provider.
+func AsContextSource(src Source) ContextSource {
+	if cs, ok := src.(ContextSource); ok {
+		return cs
+	}
+	return plainContextSource{src}
+}
+
+type plainContextSource struct{ Source }
+
+func (p plainContextSource) NeighborsContext(ctx context.Context, v graph.NodeID) ([]graph.NodeID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p.Source.Neighbors(v), nil
+}
+
+// Failing is the optional walker/source capability the fleet uses to detect
+// that a member's query path has failed (cancellation, deadline, budget
+// exhaustion): a non-nil Err means further stepping is pointless. Bound
+// implements it for sources; samplers delegate to their source.
+type Failing interface {
+	Err() error
+}
+
+// sourceErr returns src's sticky error when src can report one.
+func sourceErr(src Source) error {
+	if f, ok := src.(Failing); ok {
+		return f.Err()
+	}
+	return nil
+}
+
+// Bound adapts a ContextSource to the plain Source interface under a
+// switchable context, so existing walkers — whose Step has no context
+// parameter — become cancellable without changing the Walker interface: a
+// session binds the context once per run, every query the walkers issue
+// through the Bound honors it, and the first failure is latched for the run
+// and reported through Err.
+//
+// On a failed read, Neighbors returns nil — walkers treat that as an
+// absorbing position and stay put, which is safe — and the fleet notices the
+// latched error (via Failing) and retires the walker without emitting the
+// poisoned sample.
+//
+// Bound forwards the optional capabilities of its inner source (prefetch
+// hints, free cached-topology reads) with inert fallbacks when the inner
+// source lacks them, so a sampler built over a Bound behaves exactly as one
+// built over the inner source directly.
+//
+// Bound is safe for concurrent use by a fleet; Bind must not be called while
+// a run is in flight (the session serializes runs).
+type Bound struct {
+	src    ContextSource
+	pf     PrefetchSource
+	cached CachedSource
+	nc     interface {
+		Cached(v graph.NodeID) bool
+	}
+
+	mu  sync.Mutex
+	ctx context.Context
+	err error
+}
+
+// NewBound wraps src (adapted via AsContextSource) bound to the background
+// context.
+func NewBound(src Source) *Bound {
+	cs := AsContextSource(src)
+	b := &Bound{src: cs, ctx: context.Background()}
+	b.pf, _ = src.(PrefetchSource)
+	b.cached, _ = src.(CachedSource)
+	b.nc, _ = src.(interface {
+		Cached(v graph.NodeID) bool
+	})
+	return b
+}
+
+// Bind installs ctx as the context for subsequent queries and clears the
+// latched error. Call it only between runs, never while walkers are
+// stepping.
+func (b *Bound) Bind(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b.mu.Lock()
+	b.ctx = ctx
+	b.err = nil
+	b.mu.Unlock()
+}
+
+// Err returns the first query failure since the last Bind (nil if none).
+func (b *Bound) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+// fail latches the first error of the run.
+func (b *Bound) fail(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+}
+
+// context returns the currently bound context.
+func (b *Bound) context() context.Context {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ctx
+}
+
+// Neighbors returns v's neighbor list under the bound context; on failure it
+// latches the error and returns nil.
+func (b *Bound) Neighbors(v graph.NodeID) []graph.NodeID {
+	nbrs, err := b.src.NeighborsContext(b.context(), v)
+	if err != nil {
+		b.fail(err)
+		return nil
+	}
+	return nbrs
+}
+
+// NeighborsContext delegates to the inner source under the caller's ctx
+// (latching failures), so a Bound is itself a ContextSource.
+func (b *Bound) NeighborsContext(ctx context.Context, v graph.NodeID) ([]graph.NodeID, error) {
+	nbrs, err := b.src.NeighborsContext(ctx, v)
+	if err != nil {
+		b.fail(err)
+	}
+	return nbrs, err
+}
+
+// Degree returns len(Neighbors(v)) under the bound context (0 on failure).
+func (b *Bound) Degree(v graph.NodeID) int { return len(b.Neighbors(v)) }
+
+// Prefetch forwards hints to the inner source's prefetch capability; without
+// one every hint is refused.
+func (b *Bound) Prefetch(ids ...graph.NodeID) int {
+	if b.pf == nil {
+		return 0
+	}
+	return b.pf.Prefetch(ids...)
+}
+
+// Known reports whether a prefetch hint for v would be redundant (false when
+// the inner source has no prefetch capability).
+func (b *Bound) Known(v graph.NodeID) bool {
+	if b.pf == nil {
+		return false
+	}
+	return b.pf.Known(v)
+}
+
+// Cached reports whether v is demand-cached on the inner source (false when
+// it has no cache).
+func (b *Bound) Cached(v graph.NodeID) bool {
+	if b.nc == nil {
+		return false
+	}
+	return b.nc.Cached(v)
+}
+
+// CachedNeighbors forwards the inner source's free topology reads (miss when
+// it has none).
+func (b *Bound) CachedNeighbors(v graph.NodeID) ([]graph.NodeID, bool) {
+	if b.cached == nil {
+		return nil, false
+	}
+	return b.cached.CachedNeighbors(v)
+}
+
+// CachedDegree forwards the inner source's free degree reads (miss when it
+// has none).
+func (b *Bound) CachedDegree(v graph.NodeID) (int, bool) {
+	if b.cached == nil {
+		return 0, false
+	}
+	return b.cached.CachedDegree(v)
+}
+
+var (
+	_ Source        = (*Bound)(nil)
+	_ ContextSource = (*Bound)(nil)
+	_ Failing       = (*Bound)(nil)
+)

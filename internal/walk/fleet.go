@@ -1,6 +1,7 @@
 package walk
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -37,7 +38,9 @@ type Fleet struct {
 	members []Walker
 }
 
-// NewFleet wraps the given walkers (at least one).
+// NewFleet wraps the given walkers (at least one; an empty fleet panics —
+// a programmer error the public SDK's option validation rules out before
+// construction).
 func NewFleet(members ...Walker) *Fleet {
 	if len(members) == 0 {
 		panic("walk: NewFleet needs at least one walker")
@@ -71,8 +74,19 @@ func (f *Fleet) Members() []Walker { return f.members }
 // buffered samples by ranging until the channel closes, or just drop the
 // channel; the goroutines exit either way.
 func (f *Fleet) Stream(total int) (samples <-chan Sample, stop func()) {
+	return f.StreamContext(context.Background(), total)
+}
+
+// StreamContext is Stream bound to a context: when ctx is cancelled or its
+// deadline expires, every member goroutine retires promptly — mid-claim,
+// mid-send, and (when the shared source is context-aware, e.g. a Bound over
+// an osn.Client) mid-round-trip — and the channel closes after the last one
+// exits. A member whose walker reports a sticky failure (the Failing
+// capability: cancellation surfaced by the source, budget exhaustion)
+// retires without emitting the poisoned sample.
+func (f *Fleet) StreamContext(ctx context.Context, total int) (samples <-chan Sample, stop func()) {
 	var claimed int64
-	return f.launch(func(int) bool {
+	return f.launch(ctx, func(int) bool {
 		return atomic.AddInt64(&claimed, 1) <= int64(total)
 	})
 }
@@ -87,6 +101,12 @@ func (f *Fleet) Stream(total int) (samples <-chan Sample, stop func()) {
 // the fastest members have drained the budget, while partitioning waits for
 // the slowest member's fixed quota.
 func (f *Fleet) StreamPartitioned(total int) (samples <-chan Sample, stop func()) {
+	return f.StreamPartitionedContext(context.Background(), total)
+}
+
+// StreamPartitionedContext is StreamPartitioned bound to a context, with the
+// same cancellation semantics as StreamContext.
+func (f *Fleet) StreamPartitionedContext(ctx context.Context, total int) (samples <-chan Sample, stop func()) {
 	quotas := make([]int64, len(f.members))
 	share := int64(total) / int64(len(f.members))
 	extra := total % len(f.members)
@@ -97,7 +117,7 @@ func (f *Fleet) StreamPartitioned(total int) (samples <-chan Sample, stop func()
 		}
 	}
 	// quotas[id] is touched only by member id's goroutine: no atomics needed.
-	return f.launch(func(id int) bool {
+	return f.launch(ctx, func(id int) bool {
 		if quotas[id] <= 0 {
 			return false
 		}
@@ -108,24 +128,33 @@ func (f *Fleet) StreamPartitioned(total int) (samples <-chan Sample, stop func()
 
 // launch starts one goroutine per member; claim(id) grants member id its
 // next sample (claims are never returned, even on early stop).
-func (f *Fleet) launch(claim func(id int) bool) (samples <-chan Sample, stop func()) {
+func (f *Fleet) launch(ctx context.Context, claim func(id int) bool) (samples <-chan Sample, stop func()) {
 	out := make(chan Sample, len(f.members))
 	quit := make(chan struct{})
 	var quitOnce sync.Once
 	stop = func() { quitOnce.Do(func() { close(quit) }) }
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	for i, m := range f.members {
 		wg.Add(1)
 		go func(id int, w Walker) {
 			defer wg.Done()
 			weighter, _ := w.(Weighter)
+			failing, _ := w.(Failing)
 			for claim(id) {
 				select {
 				case <-quit:
 					return
+				case <-done:
+					return
 				default:
 				}
 				v := w.Step()
+				if failing != nil && failing.Err() != nil {
+					// The step's query path failed (cancelled round-trip,
+					// exhausted budget): v is a stale position, not a sample.
+					return
+				}
 				s := Sample{Walker: id, Node: v, Weight: 1}
 				if weighter != nil {
 					s.Weight = weighter.StationaryWeight(v)
@@ -133,6 +162,8 @@ func (f *Fleet) launch(claim func(id int) bool) (samples <-chan Sample, stop fun
 				select {
 				case out <- s:
 				case <-quit:
+					return
+				case <-done:
 					return
 				}
 			}

@@ -21,7 +21,8 @@ type Parallel struct {
 	stepped bool
 }
 
-// NewParallel wraps the given walkers (at least one).
+// NewParallel wraps the given walkers (at least one; an empty ensemble
+// panics — a programmer error, as in NewFleet).
 func NewParallel(members ...Walker) *Parallel {
 	if len(members) == 0 {
 		panic("walk: NewParallel needs at least one walker")

@@ -48,7 +48,7 @@ func TestParallelStationaryStillDegreeProportional(t *testing.T) {
 	for u := range want {
 		want[u] = float64(g.Degree(graph.NodeID(u)))
 	}
-	if tv := stats.TotalVariation(h.Distribution(), want); tv > 0.02 {
+	if tv, err := stats.TotalVariation(h.Distribution(), want); err != nil || tv > 0.02 {
 		t.Errorf("parallel SRW TV distance = %v", tv)
 	}
 }

@@ -222,6 +222,14 @@ func (w *Prefetched) StationaryWeight(v graph.NodeID) float64 {
 	return 1
 }
 
+// Err delegates to the inner walker when it reports failures.
+func (w *Prefetched) Err() error {
+	if f, ok := w.inner.(Failing); ok {
+		return f.Err()
+	}
+	return nil
+}
+
 // Prefetched returns a new Fleet whose members issue prefetch hints through
 // strategies built by mk — one instance per member, because strategies are
 // single-goroutine state. The members themselves are shared with the

@@ -72,6 +72,9 @@ func (w *Simple) StationaryWeight(v graph.NodeID) float64 {
 	return float64(w.src.Degree(v))
 }
 
+// Err reports the source's sticky failure, if the source tracks one.
+func (w *Simple) Err() error { return sourceErr(w.src) }
+
 // MetropolisHastings is the MHRW sampler with a uniform target
 // distribution: propose a uniform neighbor v of u, accept with probability
 // min(1, deg(u)/deg(v)), else stay. Every proposal costs a query for v's
@@ -100,6 +103,13 @@ func (w *MetropolisHastings) Step() graph.NodeID {
 	v := rng.Choice(w.rng, nbrs)
 	ku := len(nbrs)
 	kv := w.src.Degree(v) // costs a query on first contact
+	if kv == 0 {
+		// v is a neighbor of the current node, so its true degree is >= 1:
+		// a zero can only mean the degree read failed (cancellation, budget
+		// exhaustion on a failure-tracking source). Hold position rather
+		// than commit an always-accept transition on garbage.
+		return w.cur
+	}
 	if kv <= ku || w.rng.Float64() < float64(ku)/float64(kv) {
 		w.cur = v
 	}
@@ -108,6 +118,9 @@ func (w *MetropolisHastings) Step() graph.NodeID {
 
 // StationaryWeight is constant: MHRW targets the uniform distribution.
 func (w *MetropolisHastings) StationaryWeight(graph.NodeID) float64 { return 1 }
+
+// Err reports the source's sticky failure, if the source tracks one.
+func (w *MetropolisHastings) Err() error { return sourceErr(w.src) }
 
 // RandomJump wraps MHRW with uniform restarts: with probability PJump the
 // walk teleports to a uniformly random user ID (requiring the global ID
@@ -149,6 +162,9 @@ func (w *RandomJump) Step() graph.NodeID {
 
 // StationaryWeight is constant: RJ targets the uniform distribution.
 func (w *RandomJump) StationaryWeight(graph.NodeID) float64 { return 1 }
+
+// Err reports the source's sticky failure, if the source tracks one.
+func (w *RandomJump) Err() error { return w.mh.Err() }
 
 // Run advances w by n steps and returns the visited nodes (one entry per
 // step, excluding the start).

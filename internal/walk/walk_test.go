@@ -42,7 +42,7 @@ func TestSimpleStationaryIsDegreeProportional(t *testing.T) {
 	w := NewSimple(g, 0, rng.New(1))
 	emp := empiricalDistribution(w, 400000, g.NumNodes())
 	want := degreeDistribution(g)
-	if tv := stats.TotalVariation(emp, want); tv > 0.02 {
+	if tv, err := stats.TotalVariation(emp, want); err != nil || tv > 0.02 {
 		t.Errorf("SRW TV distance from degree-proportional = %v", tv)
 	}
 }
@@ -51,7 +51,7 @@ func TestMHRWStationaryIsUniform(t *testing.T) {
 	g := gen.Lollipop(6, 4)
 	w := NewMetropolisHastings(g, 0, rng.New(2))
 	emp := empiricalDistribution(w, 400000, g.NumNodes())
-	if tv := stats.TotalVariation(emp, uniformDistribution(g.NumNodes())); tv > 0.02 {
+	if tv, err := stats.TotalVariation(emp, uniformDistribution(g.NumNodes())); err != nil || tv > 0.02 {
 		t.Errorf("MHRW TV distance from uniform = %v", tv)
 	}
 }
@@ -60,7 +60,7 @@ func TestRandomJumpStationaryIsUniform(t *testing.T) {
 	g := gen.Barbell(6)
 	w := NewRandomJump(g, 0, g.NumNodes(), 0.5, rng.New(3))
 	emp := empiricalDistribution(w, 400000, g.NumNodes())
-	if tv := stats.TotalVariation(emp, uniformDistribution(g.NumNodes())); tv > 0.02 {
+	if tv, err := stats.TotalVariation(emp, uniformDistribution(g.NumNodes())); err != nil || tv > 0.02 {
 		t.Errorf("RJ TV distance from uniform = %v", tv)
 	}
 }

@@ -1,6 +1,44 @@
-// Package rewire is a from-scratch Go reproduction of "Faster Random Walks
-// By Rewiring Online Social Networks On-The-Fly" (Zhou, Zhang, Gong, Das —
-// ICDE 2013, arXiv:1211.5184).
+// Package rewire samples online social networks through their restrictive
+// web interfaces — faster than a plain random walk — by rewiring a virtual
+// overlay of the network on-the-fly. It is a from-scratch Go reproduction
+// and productionization of "Faster Random Walks By Rewiring Online Social
+// Networks On-The-Fly" (Zhou, Zhang, Gong, Das — ICDE 2013, arXiv:1211.5184).
+//
+// # The public surface
+//
+// Everything starts with a [Source] — an in-memory graph ([GraphSource]) or
+// a simulated rate-limited provider ([Simulate]) — and a [Session] built
+// over it with functional options:
+//
+//	g, _ := rewire.PresetGraph("Epinions", false)
+//	osn := rewire.Simulate(g, rewire.FacebookLimits())
+//	s, err := rewire.NewSession(osn,
+//		rewire.WithFleet(8),
+//		rewire.WithPrefetch(rewire.PrefetchOptions{Strategy: rewire.PrefetchFrontier, Depth: 2}),
+//		rewire.WithSeed(42),
+//	)
+//
+// Samples stream as standard Go iterators, with context cancellation and
+// deadlines threaded through the entire query path — a deadline aborts
+// in-flight provider round-trips, speculative prefetches, and every walker
+// goroutine, while the unique-query ledger stays exact:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	for sample, err := range s.Stream(ctx, 10000) {
+//		if err != nil {
+//			break // deadline hit or budget exhausted; session is resumable
+//		}
+//		use(sample)
+//	}
+//
+// Sessions are resumable: cancel a stream, come back with a fresh context
+// (or a raised budget after [ErrBudgetExhausted]), and the walkers continue
+// from their positions with the cache, cost ledger, and rewired overlay
+// intact. [Session.Estimate] wraps the paper's full estimation protocol —
+// Geweke-monitored burn-in, importance-weighted aggregates — in one call.
+//
+// # Under the hood
 //
 // The paper's contribution, the MTO-Sampler, lives in internal/core; the
 // supporting substrates are one package each under internal/ (graph,
@@ -10,6 +48,7 @@
 // paper's evaluation, and bench_test.go at this root exposes one testing.B
 // benchmark per experiment plus design-choice ablations.
 //
-// See README.md for a tour of the layout, the quickstart commands, and the
-// concurrent walker-fleet architecture.
+// See README.md for the full tour: the quickstart, the concurrent
+// walker-fleet architecture, the speculative prefetch pipeline, and the CI
+// gates (including the exported-API snapshot guarding this package).
 package rewire

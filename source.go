@@ -1,0 +1,163 @@
+package rewire
+
+import (
+	"context"
+	"time"
+
+	"rewire/internal/osn"
+)
+
+// Source is the network backend a Session samples from. The two built-in
+// backends are in-memory graphs (GraphSource — free local access, for
+// ground-truth work) and simulated restrictive providers (Simulate — the
+// paper's access model, with unique-query cost accounting, rate limits, and
+// round-trip latency). Every query a Session issues flows through this
+// interface, and the context-taking form is what makes cancellation and
+// deadlines abort in-flight round-trips.
+type Source interface {
+	// Neighbors returns v's neighbor list (shared slice, do not modify).
+	Neighbors(v NodeID) []NodeID
+	// Degree returns len(Neighbors(v)).
+	Degree(v NodeID) int
+	// NeighborsContext is Neighbors bound to a context: any round-trip the
+	// read requires honors ctx, and failures (cancellation, deadline, budget
+	// exhaustion, unknown IDs) are returned instead of swallowed.
+	NeighborsContext(ctx context.Context, v NodeID) ([]NodeID, error)
+	// NumUsers returns the total user count — the provider-published figure
+	// Random Jump needs for its ID space.
+	NumUsers() int
+}
+
+// GraphSource exposes an in-memory graph as a Source: every read is free and
+// instantaneous, so sessions over it measure pure algorithm behavior.
+func GraphSource(g *Graph) Source { return graphSource{g} }
+
+type graphSource struct{ g *Graph }
+
+func (s graphSource) Neighbors(v NodeID) []NodeID { return s.g.Neighbors(v) }
+func (s graphSource) Degree(v NodeID) int         { return s.g.Degree(v) }
+func (s graphSource) NumUsers() int               { return s.g.NumNodes() }
+
+func (s graphSource) NeighborsContext(ctx context.Context, v NodeID) ([]NodeID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.g.Neighbors(v), nil
+}
+
+// Limits configures a simulated provider's restrictions, mirroring the
+// published quotas of real social networks.
+type Limits struct {
+	// QueriesPerWindow caps queries per Window; 0 disables rate limiting.
+	QueriesPerWindow int
+	// Window is the rate-limit window length (e.g. 600s).
+	Window time.Duration
+	// PerQueryLatency is the simulated round-trip time of one web request.
+	// It advances only the simulated clock; the caller never blocks.
+	PerQueryLatency time.Duration
+	// RealLatency, when positive, makes every query actually block the
+	// calling goroutine for that long — what a concurrent walker fleet
+	// overlaps and a sequential crawler pays in full. Cancelling the
+	// query's context interrupts the wait.
+	RealLatency time.Duration
+}
+
+// FacebookLimits mirrors the paper's cited Facebook quota: 600 open-graph
+// queries per 600 seconds.
+func FacebookLimits() Limits { return Limits(osn.FacebookLimits()) }
+
+// TwitterLimits mirrors the paper's cited Twitter quota: 350 requests/hour.
+func TwitterLimits() Limits { return Limits(osn.TwitterLimits()) }
+
+// PrefetchStats counts a provider's speculative-fetch activity.
+type PrefetchStats = osn.PrefetchStats
+
+// Provider simulates the restrictive web interface of an online social
+// network over an in-memory graph: the only operation is the individual-user
+// query q(v), rate-limited per Limits, with the paper's cost accounting —
+// only unique demanded queries count; duplicates and speculative prefetches
+// are served from (or parked in) a local cache.
+//
+// A Provider is safe for concurrent use and is the backend to pass NewSession
+// for any experiment where query cost or latency matters.
+type Provider struct {
+	svc    *osn.Service
+	client *osn.Client
+}
+
+// Simulate wraps g in a simulated provider under the given limits.
+func Simulate(g *Graph, limits Limits) *Provider {
+	svc := osn.NewService(g, nil, osn.Config(limits))
+	return &Provider{svc: svc, client: osn.NewClient(svc)}
+}
+
+// Neighbors returns v's neighbor list, querying (and billing) on a cache
+// miss; nil for unknown IDs or failed round-trips — use NeighborsContext to
+// see the error.
+func (p *Provider) Neighbors(v NodeID) []NodeID { return p.client.Neighbors(v) }
+
+// Degree returns v's degree, querying on a cache miss.
+func (p *Provider) Degree(v NodeID) int { return p.client.Degree(v) }
+
+// NeighborsContext returns v's neighbor list with the round-trip bound to
+// ctx; cancellation aborts the in-flight request without billing it.
+func (p *Provider) NeighborsContext(ctx context.Context, v NodeID) ([]NodeID, error) {
+	return p.client.NeighborsContext(ctx, v)
+}
+
+// NumUsers returns the provider-published user count.
+func (p *Provider) NumUsers() int { return p.client.NumUsers() }
+
+// Query resolves q(v) under ctx and returns v's neighbor list.
+func (p *Provider) Query(ctx context.Context, v NodeID) ([]NodeID, error) {
+	return p.client.NeighborsContext(ctx, v)
+}
+
+// QueryBatch resolves all ids under ctx, overlapping the misses' round-trips,
+// and returns the neighbor lists in input order. Each id bills at most one
+// unique query no matter how many batches or walkers race for it; a
+// cancelled batch returns promptly with ctx's error.
+func (p *Provider) QueryBatch(ctx context.Context, ids []NodeID) ([][]NodeID, error) {
+	resps, err := p.client.QueryBatchContext(ctx, ids)
+	out := make([][]NodeID, len(resps))
+	for i, r := range resps {
+		out[i] = r.Neighbors
+	}
+	return out, err
+}
+
+// SetBudget caps unique (demand) queries at n; the sampling path returns
+// ErrBudgetExhausted instead of billing past it. n <= 0 removes the cap.
+// Raising the budget mid-run resumes an exhausted walk.
+func (p *Provider) SetBudget(n int64) { p.client.SetBudget(n) }
+
+// UniqueQueries returns the paper's query-cost metric: distinct users a
+// sampler actually demanded (speculative prefetches park outside the ledger
+// until consumed).
+func (p *Provider) UniqueQueries() int64 { return p.client.UniqueQueries() }
+
+// CacheSize returns the number of distinct users stored locally (demanded
+// and speculative).
+func (p *Provider) CacheSize() int { return p.client.CacheSize() }
+
+// SpeculativeCount returns prefetched responses no demand query has consumed.
+func (p *Provider) SpeculativeCount() int64 { return p.client.SpeculativeCount() }
+
+// TotalQueries returns the provider-side request count (including
+// speculative and coalesced duplicates served before caching).
+func (p *Provider) TotalQueries() int64 { return p.svc.TotalQueries() }
+
+// SimulatedElapsed returns the simulated wall-clock consumed so far.
+func (p *Provider) SimulatedElapsed() time.Duration { return p.svc.SimulatedElapsed() }
+
+// RateLimitWaits returns how many times a query sat out a rate-limit window.
+func (p *Provider) RateLimitWaits() int64 { return p.svc.RateLimitWaits() }
+
+// PrefetchStats returns the speculative pool's counters (zero without
+// prefetching configured).
+func (p *Provider) PrefetchStats() PrefetchStats { return p.client.PrefetchStats() }
+
+var (
+	_ Source = graphSource{}
+	_ Source = (*Provider)(nil)
+)
