@@ -250,6 +250,34 @@ func benchMTOPrefetch(b *testing.B, prefetch bool) {
 func BenchmarkMTOPivotPrefetchOff(b *testing.B) { benchMTOPrefetch(b, false) }
 func BenchmarkMTOPivotPrefetchOn(b *testing.B)  { benchMTOPrefetch(b, true) }
 
+// --- Storage-engine contention ----------------------------------------------
+
+// benchContention hammers one shared client with k zero-latency SRW walkers
+// on k goroutines (partitioned step quotas, no fleet plumbing), isolating
+// the storage engine's locking cost. shards=1 is the legacy single-RWMutex
+// layout every store used before the sharded engine; shards=0 selects the
+// sharded default. The gap between the two is a multicore effect — on one
+// core they tie — which is why CI gates it through the conservative floor in
+// bench/baseline.json rather than through these smoke benchmarks.
+func benchContention(b *testing.B, k, shards int) {
+	ds := exp.SmallDatasets()[0]
+	cfg := exp.QuickContentionConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row := exp.RunContention(ds, k, shards, cfg.Samples, uint64(i+1))
+		b.ReportMetric(float64(row.Unique), "queries/run")
+	}
+}
+
+func BenchmarkContentionLegacyK1(b *testing.B)   { benchContention(b, 1, 1) }
+func BenchmarkContentionLegacyK4(b *testing.B)   { benchContention(b, 4, 1) }
+func BenchmarkContentionLegacyK16(b *testing.B)  { benchContention(b, 16, 1) }
+func BenchmarkContentionLegacyK64(b *testing.B)  { benchContention(b, 64, 1) }
+func BenchmarkContentionShardedK1(b *testing.B)  { benchContention(b, 1, 0) }
+func BenchmarkContentionShardedK4(b *testing.B)  { benchContention(b, 4, 0) }
+func BenchmarkContentionShardedK16(b *testing.B) { benchContention(b, 16, 0) }
+func BenchmarkContentionShardedK64(b *testing.B) { benchContention(b, 64, 0) }
+
 // --- Micro-benchmarks of the hot paths --------------------------------------
 
 func BenchmarkRemovalCriterion(b *testing.B) {

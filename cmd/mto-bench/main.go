@@ -29,7 +29,7 @@ type prefetchFlags struct {
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: table1|running|fig7|fig8|fig9|fig10|fig11|theorem6|fleet|prefetch|all, or bench (standalone CI suite, not part of all)")
+		which    = flag.String("exp", "all", "experiment: table1|running|fig7|fig8|fig9|fig10|fig11|theorem6|fleet|prefetch|contention|all, or bench (standalone CI suite, not part of all)")
 		full     = flag.Bool("full", false, "run at full paper scale (slower)")
 		seed     = flag.Uint64("seed", 1, "master random seed")
 		dataset  = flag.String("dataset", "", "restrict fig7 to one dataset (default: all three)")
@@ -199,6 +199,35 @@ func run(which string, full bool, seed uint64, dataset, jsonOut string, pf prefe
 		}
 		exp.PrefetchScaling(target, cfg, seed).Render(out)
 	}
+	if all || which == "contention" {
+		section("Contention — sharded storage engine vs legacy single lock")
+		cfg := exp.QuickContentionConfig()
+		if full {
+			cfg = exp.DefaultContentionConfig()
+		}
+		target := exp.Datasets(full)[0]
+		if dataset != "" {
+			d := exp.DatasetByName(dataset, full)
+			if d == nil {
+				return fmt.Errorf("unknown dataset %q", dataset)
+			}
+			target = *d
+		}
+		exp.ContentionScaling(target, cfg, seed).Render(out)
+	}
+	if which == "memsmoke" {
+		// Standalone like bench: a CI guard, not a paper artifact. Run it
+		// under a fixed GOMEMLIMIT to turn a storage-layer memory regression
+		// into a loud failure.
+		section("Memory smoke — 1M-node CSR graph + sharded-cache fleet walk")
+		res, err := exp.MemSmoke(exp.DefaultMemSmokeConfig(), seed)
+		if res != nil {
+			res.Render(out)
+		}
+		if err != nil {
+			return err
+		}
+	}
 	if which == "bench" {
 		section("Bench suite — deterministic CI gate workloads")
 		suite := exp.BenchSuite(seed)
@@ -212,7 +241,7 @@ func run(which string, full bool, seed uint64, dataset, jsonOut string, pf prefe
 	}
 	if !all {
 		switch which {
-		case "table1", "running", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem6", "fleet", "prefetch", "bench":
+		case "table1", "running", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem6", "fleet", "prefetch", "contention", "bench", "memsmoke":
 		default:
 			return fmt.Errorf("unknown experiment %q", which)
 		}

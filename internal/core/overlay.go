@@ -1,10 +1,11 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"sync"
 
 	"rewire/internal/graph"
+	"rewire/internal/store"
 	"rewire/internal/walk"
 )
 
@@ -16,11 +17,20 @@ import (
 //
 // The overlay never mutates the base; it is the third party's bookkeeping.
 //
-// Overlay is safe for concurrent use: a fleet of walkers reads materialized
-// neighbor lists under a shared read lock, and edge mutations (plus list
-// materialization) take the write lock. Returned neighbor slices are
-// immutable snapshots — invalidation replaces them rather than editing them
-// in place — so holding one across a concurrent mutation is safe.
+// Overlay is safe for concurrent use, and its storage is sharded
+// (internal/store): the edge-delta sets and the materialized-list cache live
+// in power-of-two-sharded maps, so fleet walkers reading different nodes'
+// overlay lists never touch the same lock. A single RWMutex (mu) still
+// serializes *mutations* against list materialization — edits are rare next
+// to reads, and cross-key atomicity (a removal touches both endpoints' lists
+// plus a delta set) is exactly what per-key shard locks cannot give — but
+// the hot path, re-reading an already-materialized list, is one shard
+// read-lock away and never blocks on mu. Materialized lists are carved from
+// a slab arena (one allocation amortizes hundreds of lists) and are
+// immutable snapshots with clipped capacity: invalidation replaces them
+// rather than editing them in place, so holding one across a concurrent
+// mutation is safe, and appending to one reallocates instead of corrupting
+// the arena.
 type Overlay struct {
 	base walk.Source
 	// pf is the base's prefetch capability (nil when the base cannot warm
@@ -33,33 +43,56 @@ type Overlay struct {
 	// fresh context, and the cache outlives the cancellation.
 	failer walk.Failing
 
+	// mu serializes mutations (and Materialize snapshots) against list
+	// materialization: mutators hold it exclusively, materializing readers
+	// hold it shared. Lock order: mu first, then any shard lock of the
+	// sharded maps below; never the reverse.
 	mu      sync.RWMutex
-	removed map[graph.EdgeKey]struct{}
-	added   map[graph.EdgeKey]struct{}
+	removed *store.Map[graph.EdgeKey, struct{}]
+	added   *store.Map[graph.EdgeKey, struct{}]
 	// addedAdj lists added-edge partners per node for list materialization.
+	// Guarded by mu (only touched by mutators and materializing readers).
 	addedAdj map[graph.NodeID][]graph.NodeID
+	// removedAdj mirrors the removed set as per-node partner lists, also
+	// guarded by mu. It exists so materialization — which already holds mu
+	// and has the deltas frozen — filters a degree-d base list without d
+	// shard-lock acquisitions on the sharded removed set; the common case
+	// (no removals at v) is one empty map read.
+	removedAdj map[graph.NodeID][]graph.NodeID
 	// lists caches materialized overlay neighbor lists, invalidated on
-	// mutation of either endpoint.
-	lists map[graph.NodeID][]graph.NodeID
+	// mutation of either endpoint. A hit never takes mu.
+	lists *store.Map[graph.NodeID, []graph.NodeID]
+	// arena backs the materialized lists' storage.
+	arena *store.Arena[graph.NodeID]
 	// usedPivots records nodes that already hosted a Theorem 4 replacement.
 	// It lives on the overlay — not the sampler — so the one-replacement-
 	// per-pivot bound (Config.PivotOnce) holds across a whole fleet sharing
-	// this overlay, keeping total rewiring O(|V|) regardless of k.
+	// this overlay, keeping total rewiring O(|V|) regardless of k. Guarded
+	// by mu.
 	usedPivots map[graph.NodeID]struct{}
 }
 
-// NewOverlay wraps base with an empty delta.
+// NewOverlay wraps base with an empty delta (default shard count).
 func NewOverlay(base walk.Source) *Overlay {
+	return NewOverlayShards(base, 0)
+}
+
+// NewOverlayShards wraps base with an empty delta whose sharded stores use n
+// shards (rounded up to a power of two; n <= 0 selects store.DefaultShards,
+// n == 1 the legacy single-lock layout).
+func NewOverlayShards(base walk.Source, n int) *Overlay {
 	pf, _ := base.(walk.PrefetchSource)
 	failer, _ := base.(walk.Failing)
 	return &Overlay{
 		base:       base,
 		pf:         pf,
 		failer:     failer,
-		removed:    make(map[graph.EdgeKey]struct{}),
-		added:      make(map[graph.EdgeKey]struct{}),
+		removed:    store.NewMap[graph.EdgeKey, struct{}](n),
+		added:      store.NewMap[graph.EdgeKey, struct{}](n),
 		addedAdj:   make(map[graph.NodeID][]graph.NodeID),
-		lists:      make(map[graph.NodeID][]graph.NodeID),
+		removedAdj: make(map[graph.NodeID][]graph.NodeID),
+		lists:      store.NewMap[graph.NodeID, []graph.NodeID](n),
+		arena:      store.NewArena[graph.NodeID](0),
 		usedPivots: make(map[graph.NodeID]struct{}),
 	}
 }
@@ -67,14 +100,15 @@ func NewOverlay(base walk.Source) *Overlay {
 // Base returns the wrapped source.
 func (o *Overlay) Base() walk.Source { return o.base }
 
-// Neighbors returns v's overlay neighbor list (sorted; owned by the overlay,
-// do not modify). Reading it may cost a query on the underlying client for
-// v's base list — the same query any walk positioned at v must pay anyway.
+// StoreShards returns the overlay's shard count.
+func (o *Overlay) StoreShards() int { return o.lists.Shards() }
+
+// Neighbors returns v's overlay neighbor list (sorted; an immutable snapshot
+// owned by the overlay — do not modify its elements). Reading it may cost a
+// query on the underlying client for v's base list — the same query any walk
+// positioned at v must pay anyway.
 func (o *Overlay) Neighbors(v graph.NodeID) []graph.NodeID {
-	o.mu.RLock()
-	lst, ok := o.lists[v]
-	o.mu.RUnlock()
-	if ok {
+	if lst, ok := o.lists.Get(v); ok {
 		return lst
 	}
 	// Warm the base cache BEFORE taking the overlay lock: on a fresh node
@@ -91,8 +125,12 @@ func (o *Overlay) Neighbors(v graph.NodeID) []graph.NodeID {
 		// overlay.
 		return nil
 	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	// Materialize under the shared lock: concurrent readers materialize
+	// different (or even the same) nodes in parallel; mutators are excluded,
+	// so the delta sets cannot change between the reads below and the cache
+	// publish.
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	return o.materializeLocked(v)
 }
 
@@ -106,10 +144,7 @@ func (o *Overlay) failed() bool {
 // cachedList returns v's materialized overlay list if one exists, without
 // triggering materialization (and therefore without any base query).
 func (o *Overlay) cachedList(v graph.NodeID) ([]graph.NodeID, bool) {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	lst, ok := o.lists[v]
-	return lst, ok
+	return o.lists.Get(v)
 }
 
 // Degree returns v's overlay degree.
@@ -119,14 +154,10 @@ func (o *Overlay) Degree(v graph.NodeID) int { return len(o.Neighbors(v)) }
 // delta sets first and falls back to u's materialized list.
 func (o *Overlay) HasEdge(u, v graph.NodeID) bool {
 	k := graph.KeyOf(u, v)
-	o.mu.RLock()
-	_, gone := o.removed[k]
-	_, extra := o.added[k]
-	o.mu.RUnlock()
-	if gone {
+	if o.removed.Contains(k) {
 		return false
 	}
-	if extra {
+	if o.added.Contains(k) {
 		return true
 	}
 	return graph.ContainsSorted(o.Neighbors(u), v)
@@ -142,12 +173,18 @@ func (o *Overlay) RemoveEdge(u, v graph.NodeID) {
 
 func (o *Overlay) removeEdgeLocked(u, v graph.NodeID) {
 	k := graph.KeyOf(u, v)
-	if _, ok := o.added[k]; ok {
-		delete(o.added, k)
+	if o.added.Contains(k) {
+		o.added.Delete(k)
 		o.addedAdj[u] = without(o.addedAdj[u], v)
 		o.addedAdj[v] = without(o.addedAdj[v], u)
 	} else if graph.ContainsSorted(o.base.Neighbors(u), v) {
-		o.removed[k] = struct{}{}
+		if o.removed.Contains(k) {
+			return // already removed: a no-op, and appending to the
+			// removedAdj mirror twice would corrupt a later restore
+		}
+		o.removed.Put(k, struct{}{})
+		o.removedAdj[u] = append(o.removedAdj[u], v)
+		o.removedAdj[v] = append(o.removedAdj[v], u)
 	} else {
 		// Neither an addition nor a base edge: a true no-op. Guarding here
 		// keeps the removed set a subset of the base edge set even when a
@@ -156,8 +193,8 @@ func (o *Overlay) removeEdgeLocked(u, v graph.NodeID) {
 		// stay exact.
 		return
 	}
-	delete(o.lists, u)
-	delete(o.lists, v)
+	o.lists.Delete(u)
+	o.lists.Delete(v)
 }
 
 // AddEdge inserts (u, v) into the overlay: any removal mark is cleared, and
@@ -175,14 +212,18 @@ func (o *Overlay) addEdgeLocked(u, v graph.NodeID) {
 		return
 	}
 	k := graph.KeyOf(u, v)
-	delete(o.removed, k)
-	delete(o.lists, u)
-	delete(o.lists, v)
+	if o.removed.Contains(k) {
+		o.removed.Delete(k)
+		o.removedAdj[u] = without(o.removedAdj[u], v)
+		o.removedAdj[v] = without(o.removedAdj[v], u)
+	}
+	o.lists.Delete(u)
+	o.lists.Delete(v)
 	if graph.ContainsSorted(o.base.Neighbors(u), v) {
 		return // present in the base; clearing the removal mark restored it
 	}
-	if _, already := o.added[k]; !already {
-		o.added[k] = struct{}{}
+	if !o.added.Contains(k) {
+		o.added.Put(k, struct{}{})
 		o.addedAdj[u] = append(o.addedAdj[u], v)
 		o.addedAdj[v] = append(o.addedAdj[v], u)
 	}
@@ -197,33 +238,42 @@ func (o *Overlay) ReplaceEdge(u, p, w graph.NodeID) {
 	o.addEdgeLocked(u, w)
 }
 
-// materializeLocked returns v's current overlay list, building it under the
-// already-held write lock. Callers must only reach here for nodes whose
-// base neighborhood is already cached by the client (the sampler guarantees
-// that: it queries a node before judging its edges), so the base read never
-// blocks on a provider round-trip while the lock is held.
+// materializeLocked returns v's current overlay list, building it with mu
+// held (shared by the read path, exclusive inside guarded mutations —
+// either way the delta sets are frozen). Callers must only reach here for
+// nodes whose base neighborhood is already cached by the client (the sampler
+// guarantees that: it queries a node before judging its edges), so the base
+// read never blocks on a provider round-trip while the lock is held.
 func (o *Overlay) materializeLocked(v graph.NodeID) []graph.NodeID {
-	if lst, ok := o.lists[v]; ok {
+	if lst, ok := o.lists.Get(v); ok {
 		return lst
 	}
 	base := o.base.Neighbors(v)
-	lst := make([]graph.NodeID, 0, len(base)+len(o.addedAdj[v]))
-	for _, w := range base {
-		if _, gone := o.removed[graph.KeyOf(v, w)]; !gone {
-			lst = append(lst, w)
+	extra := o.addedAdj[v]
+	lst := o.arena.Alloc(len(base) + len(extra))
+	if gone := o.removedAdj[v]; len(gone) == 0 {
+		lst = append(lst, base...)
+	} else {
+		for _, w := range base {
+			if !containsUnsorted(gone, w) {
+				lst = append(lst, w)
+			}
 		}
 	}
-	if extra := o.addedAdj[v]; len(extra) > 0 {
+	if len(extra) > 0 {
 		lst = append(lst, extra...)
-		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		slices.Sort(lst)
 	}
+	// Clip the snapshot's capacity: a caller that appends to it reallocates
+	// instead of scribbling over the arena cells reserved for this list.
+	lst = lst[:len(lst):len(lst)]
 	if o.failed() {
 		// The base read may have been truncated by a cancelled run: hand the
 		// caller a best-effort list (errors fail toward no mutation in the
 		// guarded commits) but do not cache it past the failure.
 		return lst
 	}
-	o.lists[v] = lst
+	o.lists.Put(v, lst)
 	return lst
 }
 
@@ -240,7 +290,7 @@ func (o *Overlay) materializeLocked(v graph.NodeID) []graph.NodeID {
 func (o *Overlay) RemoveEdgeGuarded(u, v graph.NodeID, minU, minV int, requireCommon bool) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if _, ok := o.added[graph.KeyOf(u, v)]; ok {
+	if o.added.Contains(graph.KeyOf(u, v)) {
 		// (u, v) is (now) a Theorem 4 addition — those are likely
 		// cross-cutting and must never be removed by the criterion, even if
 		// the caller judged a same-keyed base edge on a stale snapshot.
@@ -302,58 +352,28 @@ func (o *Overlay) PivotUsed(p graph.NodeID) bool {
 }
 
 // RemovedCount returns the number of net edge removals.
-func (o *Overlay) RemovedCount() int {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return len(o.removed)
-}
+func (o *Overlay) RemovedCount() int { return o.removed.Len() }
 
 // AddedCount returns the number of net edge additions.
-func (o *Overlay) AddedCount() int {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return len(o.added)
-}
+func (o *Overlay) AddedCount() int { return o.added.Len() }
 
 // Removed reports whether (u,v) was explicitly removed.
 func (o *Overlay) Removed(u, v graph.NodeID) bool {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	_, ok := o.removed[graph.KeyOf(u, v)]
-	return ok
+	return o.removed.Contains(graph.KeyOf(u, v))
 }
 
 // IsAdded reports whether (u,v) is an overlay addition (not a base edge).
 func (o *Overlay) IsAdded(u, v graph.NodeID) bool {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	_, ok := o.added[graph.KeyOf(u, v)]
-	return ok
+	return o.added.Contains(graph.KeyOf(u, v))
 }
 
 // RemovedEdges returns the keys of all removed edges (order unspecified).
 // Useful for reconstructing overlay degrees against a local copy of the
 // base graph without touching the query budget.
-func (o *Overlay) RemovedEdges() []graph.EdgeKey {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	out := make([]graph.EdgeKey, 0, len(o.removed))
-	for k := range o.removed {
-		out = append(out, k)
-	}
-	return out
-}
+func (o *Overlay) RemovedEdges() []graph.EdgeKey { return o.removed.Keys() }
 
 // AddedEdges returns the keys of all added edges (order unspecified).
-func (o *Overlay) AddedEdges() []graph.EdgeKey {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	out := make([]graph.EdgeKey, 0, len(o.added))
-	for k := range o.added {
-		out = append(out, k)
-	}
-	return out
-}
+func (o *Overlay) AddedEdges() []graph.EdgeKey { return o.added.Keys() }
 
 // Materialize builds the full overlay as a concrete graph over n nodes.
 // It reads every node's base neighborhood, so call it only when the base is
@@ -366,19 +386,29 @@ func (o *Overlay) Materialize(n int) *graph.Graph {
 	defer o.mu.Unlock()
 	b := graph.NewBuilder(n)
 	for u := graph.NodeID(0); int(u) < n; u++ {
+		gone := o.removedAdj[u]
 		for _, v := range o.base.Neighbors(u) {
-			if u < v {
-				if _, gone := o.removed[graph.KeyOf(u, v)]; !gone {
-					b.AddEdge(u, v)
-				}
+			if u < v && !containsUnsorted(gone, v) {
+				b.AddEdge(u, v)
 			}
 		}
 	}
-	for k := range o.added {
+	for _, k := range o.added.Keys() {
 		u, v := k.Nodes()
 		b.AddEdge(u, v)
 	}
 	return b.Build()
+}
+
+// containsUnsorted scans a (short) partner list; removal counts per node are
+// tiny next to degrees, so a linear scan beats building a set.
+func containsUnsorted(lst []graph.NodeID, x graph.NodeID) bool {
+	for _, v := range lst {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 func without(lst []graph.NodeID, x graph.NodeID) []graph.NodeID {

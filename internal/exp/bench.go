@@ -37,5 +37,44 @@ func BenchSuite(seed uint64) benchcmp.Suite {
 
 	mtoRef := add("MTOPivotPrefetchOff", cfg.MTOSteps, RunPrefetchMTO(ds, cfg, false, seed), 0)
 	add("MTOPivotPrefetchOn", cfg.MTOSteps, RunPrefetchMTO(ds, cfg, true, seed), mtoRef)
+
+	// Storage-engine contention: a k=16 zero-latency fleet over the legacy
+	// single-lock client versus the sharded one. Queries are deterministic
+	// (partitioned quotas) and identical across layouts by construction; the
+	// sharded row's speedup is gated by a floor in the baseline. The gap is
+	// a multicore effect — on a single-core runner the layouts tie — so the
+	// committed floor is deliberately conservative.
+	ccfg := QuickContentionConfig()
+	legacy := bestOf(3, func() ContentionRow { return RunContention(ds, 16, 1, ccfg.Samples, seed) })
+	suite.Results = append(suite.Results, benchcmp.Result{
+		Name:    "ContentionLegacyK16",
+		WallNS:  legacy.Wall.Nanoseconds(),
+		Samples: ccfg.Samples,
+		Queries: legacy.Unique,
+	})
+	sharded := bestOf(3, func() ContentionRow { return RunContention(ds, 16, ccfg.Shards, ccfg.Samples, seed) })
+	shardedRes := benchcmp.Result{
+		Name:    "ContentionShardedK16",
+		WallNS:  sharded.Wall.Nanoseconds(),
+		Samples: ccfg.Samples,
+		Queries: sharded.Unique,
+	}
+	if legacy.Wall > 0 && sharded.Wall > 0 {
+		shardedRes.Speedup = float64(legacy.Wall) / float64(sharded.Wall)
+	}
+	suite.Results = append(suite.Results, shardedRes)
 	return suite
+}
+
+// bestOf runs f n times and keeps the row with the smallest wall-clock —
+// the standard way to de-noise a short benchmark (the minimum is the run
+// least disturbed by the scheduler).
+func bestOf(n int, f func() ContentionRow) ContentionRow {
+	best := f()
+	for i := 1; i < n; i++ {
+		if row := f(); row.Wall < best.Wall {
+			best = row
+		}
+	}
+	return best
 }

@@ -65,14 +65,24 @@ func BarabasiAlbert(n, m int, r *rng.Rand) *graph.Graph {
 		}
 	}
 	targets := make(map[graph.NodeID]struct{}, m)
+	order := make([]graph.NodeID, 0, m)
 	for v := m + 1; v < n; v++ {
 		for k := range targets {
 			delete(targets, k)
 		}
+		// Record targets in draw order, not map-iteration order: appending
+		// to `repeated` in map order would make the remaining growth — and
+		// therefore the whole graph — vary run to run for a fixed seed.
+		order = order[:0]
 		for len(targets) < m {
-			targets[rng.Choice(r, repeated)] = struct{}{}
+			t := rng.Choice(r, repeated)
+			if _, dup := targets[t]; dup {
+				continue
+			}
+			targets[t] = struct{}{}
+			order = append(order, t)
 		}
-		for t := range targets {
+		for _, t := range order {
 			b.AddEdge(graph.NodeID(v), t)
 			repeated = append(repeated, graph.NodeID(v), t)
 		}

@@ -1,18 +1,27 @@
 package graph
 
-import "sort"
-
-// Builder accumulates undirected edges and produces an immutable Graph.
-// Duplicate edges and self-loops are silently dropped, matching how the paper
-// treats its datasets as simple graphs.
+// Builder accumulates undirected edges and produces an immutable CSR Graph.
+// Duplicate edges and self-loops are silently dropped at Build, matching how
+// the paper treats its datasets as simple graphs.
+//
+// The builder stores pending edges as one flat pair list (8 bytes per edge)
+// plus a per-node degree counter — no per-node slices — so building a
+// million-node graph costs a handful of large allocations instead of a
+// million small ones, and Build turns the pairs into CSR with a counting
+// sort.
 type Builder struct {
-	n   int
-	adj [][]NodeID
+	n     int
+	pairs []Edge
+	deg   []int32
+	// seen is built lazily on the first HasEdgeSlow call and maintained by
+	// AddEdge afterwards, so generators that probe for duplicates pay O(1)
+	// per probe after a one-time O(edges) index build.
+	seen map[EdgeKey]struct{}
 }
 
 // NewBuilder returns a builder for a graph over n nodes (IDs 0..n-1).
 func NewBuilder(n int) *Builder {
-	return &Builder{n: n, adj: make([][]NodeID, n)}
+	return &Builder{n: n, deg: make([]int32, n)}
 }
 
 // NumNodes returns the node count the builder was created with.
@@ -27,50 +36,51 @@ func (b *Builder) AddEdge(u, v NodeID) {
 	if u == v {
 		return
 	}
-	b.adj[u] = append(b.adj[u], v)
-	b.adj[v] = append(b.adj[v], u)
+	b.pairs = append(b.pairs, Edge{u, v})
+	b.deg[u]++
+	b.deg[v]++
+	if b.seen != nil {
+		b.seen[KeyOf(u, v)] = struct{}{}
+	}
 }
 
-// HasEdgeSlow reports whether (u, v) has been added. Linear scan; intended
-// for generators that need occasional duplicate checks while building sparse
+// HasEdgeSlow reports whether (u, v) has been added. The first call indexes
+// every pending edge (hence the historical name); subsequent calls are O(1).
+// Intended for generators that need duplicate checks while building sparse
 // graphs.
 func (b *Builder) HasEdgeSlow(u, v NodeID) bool {
-	a, c := b.adj[u], b.adj[v]
-	if len(c) < len(a) {
-		a, v = c, u
-	}
-	for _, x := range a {
-		if x == v {
-			return true
+	if b.seen == nil {
+		b.seen = make(map[EdgeKey]struct{}, len(b.pairs))
+		for _, e := range b.pairs {
+			b.seen[e.Key()] = struct{}{}
 		}
 	}
-	return false
+	_, ok := b.seen[KeyOf(u, v)]
+	return ok
 }
 
 // Degree returns the current (pre-dedup) degree of u.
-func (b *Builder) Degree(u NodeID) int { return len(b.adj[u]) }
+func (b *Builder) Degree(u NodeID) int { return int(b.deg[u]) }
 
-// Build finalizes the graph: sorts adjacency, removes duplicates, counts
-// edges. The builder must not be reused afterwards.
+// Build finalizes the graph: a counting sort scatters the flat pair list
+// into CSR rows, then each row is sorted and deduplicated in place. The
+// builder must not be reused afterwards.
 func (b *Builder) Build() *Graph {
-	total := 0
-	for u := range b.adj {
-		lst := b.adj[u]
-		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
-		w := 0
-		for i, v := range lst {
-			if i > 0 && lst[i-1] == v && w > 0 && lst[w-1] == v {
-				continue
-			}
-			lst[w] = v
-			w++
-		}
-		b.adj[u] = lst[:w]
-		total += w
+	offsets := make([]uint32, b.n+1)
+	for u, d := range b.deg {
+		offsets[u+1] = offsets[u] + uint32(d)
 	}
-	g := &Graph{adj: b.adj, edges: total / 2}
-	b.adj = nil
-	return g
+	neigh := make([]NodeID, offsets[b.n])
+	cursor := make([]uint32, b.n)
+	copy(cursor, offsets[:b.n])
+	for _, e := range b.pairs {
+		neigh[cursor[e.U]] = e.V
+		cursor[e.U]++
+		neigh[cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+	b.pairs, b.deg, b.seen = nil, nil, nil
+	return finishCSR(offsets, neigh)
 }
 
 // FromEdges builds a graph over n nodes from an edge list.

@@ -6,7 +6,7 @@ import "rewire/internal/rng"
 // fraction of u's neighbor pairs that are themselves connected. Nodes of
 // degree < 2 return 0.
 func (g *Graph) LocalClustering(u NodeID) float64 {
-	nbrs := g.adj[u]
+	nbrs := g.Neighbors(u)
 	d := len(nbrs)
 	if d < 2 {
 		return 0

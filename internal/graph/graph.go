@@ -1,8 +1,8 @@
 // Package graph provides the undirected-graph substrate used by every other
-// component: a compact adjacency representation with sorted neighbor lists,
-// builders, directed graphs with reciprocal-edge conversion (the paper's
-// §V-A.2 dataset preparation), traversals, connectivity, effective diameter,
-// and edge-list serialization.
+// component: a compact CSR (compressed sparse row) representation with sorted
+// neighbor lists, builders, directed graphs with reciprocal-edge conversion
+// (the paper's §V-A.2 dataset preparation), traversals, connectivity,
+// effective diameter, and edge-list serialization.
 //
 // Node identifiers are dense int32 values in [0, N). Sorted neighbor slices
 // make membership tests O(log d) and common-neighborhood intersection — the
@@ -11,7 +11,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // NodeID identifies a node. IDs are dense: a graph with N nodes uses IDs
@@ -49,72 +49,108 @@ func (k EdgeKey) Nodes() (NodeID, NodeID) {
 	return NodeID(uint32(k >> 32)), NodeID(uint32(k))
 }
 
-// Graph is an immutable simple undirected graph. Build one with a Builder or
-// a generator from internal/gen. Neighbor lists are sorted ascending and free
-// of duplicates and self-loops.
+// Graph is an immutable simple undirected graph in CSR (compressed sparse
+// row) form: node u's neighbors live in neigh[offsets[u]:offsets[u+1]],
+// sorted ascending, free of duplicates and self-loops. Two flat arrays hold
+// the whole topology — 4 bytes per directed edge entry plus 4 bytes per node
+// — so million-node graphs fit in a fraction of the memory of per-node
+// slices, and a neighbor read is a zero-allocation slice view.
+//
+// Build one with a Builder or a generator from internal/gen.
 type Graph struct {
-	adj   [][]NodeID
+	// offsets has NumNodes+1 entries; offsets[0] == 0 and offsets[u+1] -
+	// offsets[u] is u's degree. uint32 bounds the directed-entry count (twice
+	// the edges) at ~2.1 billion, far above the paper's scale.
+	offsets []uint32
+	// neigh is the concatenation of all sorted neighbor lists.
+	neigh []NodeID
 	edges int
 }
 
-// NewFromAdjacency wraps pre-built adjacency lists. The caller warrants that
-// the lists are symmetric; they are sorted and deduplicated defensively and
-// self-loops are dropped. Mostly useful in tests; prefer Builder elsewhere.
+// NewFromAdjacency builds a graph from pre-built adjacency lists. The caller
+// warrants that the lists are symmetric; each list is sorted and deduplicated
+// defensively and self-loops are dropped. The input is not retained. Mostly
+// useful in tests; prefer Builder elsewhere.
 func NewFromAdjacency(adj [][]NodeID) *Graph {
-	g := &Graph{adj: adj}
-	total := 0
-	for u := range adj {
-		lst := adj[u]
-		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
-		w := 0
-		for i, v := range lst {
+	offsets := make([]uint32, len(adj)+1)
+	for u, lst := range adj {
+		offsets[u+1] = offsets[u] + uint32(len(lst))
+	}
+	neigh := make([]NodeID, offsets[len(adj)])
+	for u, lst := range adj {
+		copy(neigh[offsets[u]:], lst)
+	}
+	return finishCSR(offsets, neigh)
+}
+
+// finishCSR sorts each row, removes duplicates and self-loops compacting the
+// flat array in place, and returns the finished graph. offsets and neigh are
+// taken over (and shrunk) by the call.
+func finishCSR(offsets []uint32, neigh []NodeID) *Graph {
+	n := len(offsets) - 1
+	w := uint32(0)
+	for u := 0; u < n; u++ {
+		lo, hi := offsets[u], offsets[u+1]
+		offsets[u] = w // rows only shrink, so w never overtakes lo
+		row := neigh[lo:hi]
+		slices.Sort(row)
+		for i, v := range row {
 			if v == NodeID(u) {
 				continue // self-loop
 			}
-			if i > 0 && w > 0 && lst[w-1] == v {
+			if i > 0 && w > offsets[u] && neigh[w-1] == v {
 				continue // duplicate
 			}
-			lst[w] = v
+			neigh[w] = v
 			w++
 		}
-		g.adj[u] = lst[:w]
-		total += w
 	}
-	g.edges = total / 2
-	return g
+	offsets[n] = w
+	return &Graph{offsets: offsets, neigh: neigh[:w:w], edges: int(w) / 2}
 }
 
 // NumNodes returns the number of nodes.
-func (g *Graph) NumNodes() int { return len(g.adj) }
+func (g *Graph) NumNodes() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
 
 // NumEdges returns the number of undirected edges.
 func (g *Graph) NumEdges() int { return g.edges }
 
 // Degree returns the degree of u.
-func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u NodeID) int { return int(g.offsets[u+1] - g.offsets[u]) }
 
-// Neighbors returns u's sorted neighbor list. The returned slice is shared
-// with the graph and must not be modified.
-func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[u] }
+// Neighbors returns u's sorted neighbor list as a read-only view into the
+// graph's CSR storage: zero allocations, and the view's capacity is clipped
+// to its length, so an append by the caller reallocates instead of
+// overwriting the next node's row. The elements themselves must not be
+// modified.
+func (g *Graph) Neighbors(u NodeID) []NodeID {
+	lo, hi := g.offsets[u], g.offsets[u+1]
+	return g.neigh[lo:hi:hi]
+}
 
 // HasEdge reports whether the undirected edge (u, v) exists.
 func (g *Graph) HasEdge(u, v NodeID) bool {
-	if int(u) >= len(g.adj) || int(v) >= len(g.adj) || u < 0 || v < 0 {
+	n := g.NumNodes()
+	if int(u) >= n || int(v) >= n || u < 0 || v < 0 {
 		return false
 	}
-	lst := g.adj[u]
-	if len(g.adj[v]) < len(lst) {
-		lst, v = g.adj[v], u
+	lst := g.Neighbors(u)
+	if other := g.Neighbors(v); len(other) < len(lst) {
+		lst, v = other, u
 	}
-	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= v })
-	return i < len(lst) && lst[i] == v
+	return ContainsSorted(lst, v)
 }
 
 // Edges returns all edges in canonical order (U <= V), sorted.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.edges)
-	for u := range g.adj {
-		for _, v := range g.adj[u] {
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(NodeID(u)) {
 			if NodeID(u) < v {
 				out = append(out, Edge{NodeID(u), v})
 			}
@@ -127,12 +163,12 @@ func (g *Graph) Edges() []Edge {
 // and v: |N(u) ∩ N(v)| drives the paper's removal criterion. The result is
 // freshly allocated.
 func (g *Graph) CommonNeighbors(u, v NodeID) []NodeID {
-	return IntersectSorted(g.adj[u], g.adj[v])
+	return IntersectSorted(g.Neighbors(u), g.Neighbors(v))
 }
 
 // CountCommonNeighbors returns |N(u) ∩ N(v)| without allocating.
 func (g *Graph) CountCommonNeighbors(u, v NodeID) int {
-	return CountIntersectSorted(g.adj[u], g.adj[v])
+	return CountIntersectSorted(g.Neighbors(u), g.Neighbors(v))
 }
 
 // IntersectSorted intersects two ascending NodeID slices.
@@ -174,29 +210,24 @@ func CountIntersectSorted(a, b []NodeID) int {
 
 // ContainsSorted reports whether x occurs in the ascending slice lst.
 func ContainsSorted(lst []NodeID, x NodeID) bool {
-	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= x })
-	return i < len(lst) && lst[i] == x
+	_, found := slices.BinarySearch(lst, x)
+	return found
 }
 
 // DegreeSum returns the sum of all degrees (2 * NumEdges for consistency
 // checking).
-func (g *Graph) DegreeSum() int {
-	s := 0
-	for u := range g.adj {
-		s += len(g.adj[u])
-	}
-	return s
-}
+func (g *Graph) DegreeSum() int { return len(g.neigh) }
 
 // MinDegree returns the smallest degree, or 0 for an empty graph.
 func (g *Graph) MinDegree() int {
-	if len(g.adj) == 0 {
+	n := g.NumNodes()
+	if n == 0 {
 		return 0
 	}
-	m := len(g.adj[0])
-	for _, l := range g.adj[1:] {
-		if len(l) < m {
-			m = len(l)
+	m := g.Degree(0)
+	for u := NodeID(1); int(u) < n; u++ {
+		if d := g.Degree(u); d < m {
+			m = d
 		}
 	}
 	return m
@@ -205,9 +236,9 @@ func (g *Graph) MinDegree() int {
 // MaxDegree returns the largest degree, or 0 for an empty graph.
 func (g *Graph) MaxDegree() int {
 	m := 0
-	for _, l := range g.adj {
-		if len(l) > m {
-			m = len(l)
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.Degree(NodeID(u)); d > m {
+			m = d
 		}
 	}
 	return m
@@ -216,39 +247,57 @@ func (g *Graph) MaxDegree() int {
 // AverageDegree returns mean degree, the paper's default aggregate query for
 // topological datasets.
 func (g *Graph) AverageDegree() float64 {
-	if len(g.adj) == 0 {
+	if g.NumNodes() == 0 {
 		return 0
 	}
-	return float64(g.DegreeSum()) / float64(len(g.adj))
+	return float64(g.DegreeSum()) / float64(g.NumNodes())
 }
 
 // DegreeHistogram returns counts[d] = number of nodes of degree d.
 func (g *Graph) DegreeHistogram() []int {
 	counts := make([]int, g.MaxDegree()+1)
-	for _, l := range g.adj {
-		counts[len(l)]++
+	for u := 0; u < g.NumNodes(); u++ {
+		counts[g.Degree(NodeID(u))]++
 	}
 	return counts
 }
 
-// Clone returns a deep copy whose adjacency can be mutated independently
-// (used by the offline overlay builder).
-func (g *Graph) Clone() *Graph {
-	adj := make([][]NodeID, len(g.adj))
-	for u := range g.adj {
-		adj[u] = append([]NodeID(nil), g.adj[u]...)
-	}
-	return &Graph{adj: adj, edges: g.edges}
+// FootprintBytes returns the heap footprint of the CSR arrays — what the
+// memory smoke test budgets for a million-node graph.
+func (g *Graph) FootprintBytes() int {
+	return 4*len(g.offsets) + 4*len(g.neigh)
 }
 
-// Validate checks structural invariants (sortedness, symmetry, no self loops,
-// no duplicates, edge-count consistency). Generators call it in tests.
+// Clone returns an independent deep copy of the CSR arrays. The Graph API is
+// immutable, so cloning only matters for callers that reach into a graph's
+// storage with unsafe tricks — and for tests proving they cannot.
+func (g *Graph) Clone() *Graph {
+	return &Graph{
+		offsets: slices.Clone(g.offsets),
+		neigh:   slices.Clone(g.neigh),
+		edges:   g.edges,
+	}
+}
+
+// Validate checks structural invariants (offset monotonicity, sortedness,
+// symmetry, no self loops, no duplicates, edge-count consistency).
+// Generators call it in tests.
 func (g *Graph) Validate() error {
+	n := g.NumNodes()
+	if len(g.offsets) > 0 && g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
+	}
+	if len(g.offsets) > 0 && int(g.offsets[n]) != len(g.neigh) {
+		return fmt.Errorf("graph: offsets[%d] = %d does not cover %d entries", n, g.offsets[n], len(g.neigh))
+	}
 	total := 0
-	for u := range g.adj {
-		lst := g.adj[u]
+	for u := 0; u < n; u++ {
+		if g.offsets[u+1] < g.offsets[u] {
+			return fmt.Errorf("graph: offsets decrease at node %d", u)
+		}
+		lst := g.Neighbors(NodeID(u))
 		for i, v := range lst {
-			if v < 0 || int(v) >= len(g.adj) {
+			if v < 0 || int(v) >= n {
 				return fmt.Errorf("graph: node %d has out-of-range neighbor %d", u, v)
 			}
 			if v == NodeID(u) {
@@ -257,7 +306,7 @@ func (g *Graph) Validate() error {
 			if i > 0 && lst[i-1] >= v {
 				return fmt.Errorf("graph: adjacency of node %d not strictly ascending at index %d", u, i)
 			}
-			if !ContainsSorted(g.adj[v], NodeID(u)) {
+			if !ContainsSorted(g.Neighbors(v), NodeID(u)) {
 				return fmt.Errorf("graph: edge (%d,%d) not symmetric", u, v)
 			}
 		}

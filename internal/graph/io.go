@@ -15,8 +15,8 @@ func (g *Graph) WriteEdgeList(w io.Writer) error {
 	if _, err := fmt.Fprintf(bw, "# Nodes: %d Edges: %d\n", g.NumNodes(), g.NumEdges()); err != nil {
 		return err
 	}
-	for u := range g.adj {
-		for _, v := range g.adj[u] {
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(NodeID(u)) {
 			if NodeID(u) < v {
 				if _, err := fmt.Fprintf(bw, "%d\t%d\n", u, v); err != nil {
 					return err

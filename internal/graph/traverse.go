@@ -3,7 +3,7 @@ package graph
 // BFS runs a breadth-first search from src and returns dist[v] = hop distance
 // from src, with -1 for unreachable nodes.
 func (g *Graph) BFS(src NodeID) []int32 {
-	dist := make([]int32, len(g.adj))
+	dist := make([]int32, g.NumNodes())
 	for i := range dist {
 		dist[i] = -1
 	}
@@ -14,7 +14,7 @@ func (g *Graph) BFS(src NodeID) []int32 {
 		u := queue[0]
 		queue = queue[1:]
 		du := dist[u]
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if dist[v] < 0 {
 				dist[v] = du + 1
 				queue = append(queue, v)
@@ -27,12 +27,12 @@ func (g *Graph) BFS(src NodeID) []int32 {
 // ConnectedComponents labels each node with a component index and returns the
 // labels plus the number of components.
 func (g *Graph) ConnectedComponents() (labels []int32, count int) {
-	labels = make([]int32, len(g.adj))
+	labels = make([]int32, g.NumNodes())
 	for i := range labels {
 		labels[i] = -1
 	}
 	var queue []NodeID
-	for s := range g.adj {
+	for s := 0; s < g.NumNodes(); s++ {
 		if labels[s] >= 0 {
 			continue
 		}
@@ -41,7 +41,7 @@ func (g *Graph) ConnectedComponents() (labels []int32, count int) {
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, v := range g.adj[u] {
+			for _, v := range g.Neighbors(u) {
 				if labels[v] < 0 {
 					labels[v] = int32(count)
 					queue = append(queue, v)
@@ -56,7 +56,7 @@ func (g *Graph) ConnectedComponents() (labels []int32, count int) {
 // IsConnected reports whether the graph is connected (the empty graph is
 // considered connected).
 func (g *Graph) IsConnected() bool {
-	if len(g.adj) == 0 {
+	if g.NumNodes() == 0 {
 		return true
 	}
 	_, c := g.ConnectedComponents()
@@ -70,7 +70,7 @@ func (g *Graph) IsConnected() bool {
 func (g *Graph) LargestComponent() (*Graph, []NodeID) {
 	labels, count := g.ConnectedComponents()
 	if count <= 1 {
-		ids := make([]NodeID, len(g.adj))
+		ids := make([]NodeID, g.NumNodes())
 		for i := range ids {
 			ids[i] = NodeID(i)
 		}
@@ -92,9 +92,9 @@ func (g *Graph) LargestComponent() (*Graph, []NodeID) {
 // InducedSubgraph returns the subgraph induced by nodes satisfying keep,
 // with nodes renumbered densely, plus the newID -> oldID mapping.
 func (g *Graph) InducedSubgraph(keep func(NodeID) bool) (*Graph, []NodeID) {
-	remap := make([]NodeID, len(g.adj))
+	remap := make([]NodeID, g.NumNodes())
 	var ids []NodeID
-	for u := range g.adj {
+	for u := 0; u < g.NumNodes(); u++ {
 		if keep(NodeID(u)) {
 			remap[u] = NodeID(len(ids))
 			ids = append(ids, NodeID(u))
@@ -104,7 +104,7 @@ func (g *Graph) InducedSubgraph(keep func(NodeID) bool) (*Graph, []NodeID) {
 	}
 	b := NewBuilder(len(ids))
 	for newU, oldU := range ids {
-		for _, v := range g.adj[oldU] {
+		for _, v := range g.Neighbors(oldU) {
 			if remap[v] >= 0 && oldU < v {
 				b.AddEdge(NodeID(newU), remap[v])
 			}

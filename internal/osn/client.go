@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"rewire/internal/graph"
+	"rewire/internal/store"
 )
 
 // inflight coordinates concurrent fetches for one user: the first goroutine
@@ -17,49 +18,38 @@ type inflight struct {
 	resp Response
 	err  error
 	// demand counts the demand-path callers (Query, QueryBatch, waiters that
-	// coalesced onto this fetch) currently needing the result. Guarded by
-	// Client.mu. A waiter whose context is cancelled before the fetch commits
-	// withdraws its demand; a fetch whose demand count is zero at commit time
-	// stays speculative and does not touch the unique-query ledger.
+	// coalesced onto this fetch) currently needing the result. Guarded by the
+	// user's shard lock. A waiter whose context is cancelled before the fetch
+	// commits withdraws its demand; a fetch whose demand count is zero at
+	// commit time stays speculative and does not touch the unique-query
+	// ledger.
 	demand int
 }
 
-// cacheEntry is one stored response. Speculative entries were fetched by the
-// prefetch pool and not yet consumed by any demand query: they are invisible
-// to the cost ledger AND to the free-knowledge accessors (Cached,
+// nodeState is everything the client knows about one user, stored as a single
+// sharded-map entry so "check the cache, join an in-flight fetch, or claim
+// the fetch" is one atomic step under one shard lock — per-shard singleflight.
+// Exactly one of the two halves is live: flight != nil while a fetch is in
+// progress, cached once a response landed. Speculative entries were fetched
+// by the prefetch pool and not yet consumed by any demand query: they are
+// invisible to the cost ledger AND to the free-knowledge accessors (Cached,
 // CachedDegree, CachedAttrs) until a demand query upgrades them, so enabling
 // prefetch changes neither walk trajectories nor Theorem 5 verdicts nor
 // UniqueQueries — it is purely a latency optimization.
-type cacheEntry struct {
+type nodeState struct {
 	resp        Response
+	cached      bool
 	speculative bool
+	flight      *inflight
 }
 
-// Client is the third-party sampler's view of the service. It implements the
-// paper's query-cost accounting (§II-B): "we consider the number of unique
-// queries one has to issue for the sampling process, as any duplicate query
-// can be answered from local cache without consuming the query limit".
-// Every response is cached forever (the paper's Redis/Mongo local store),
-// and cached degree knowledge powers the Theorem 5 extended removal
-// criterion.
-//
-// Client is safe for concurrent use. A fleet of walkers sharing one Client
-// shares both the query budget and the discovered topology: cache hits are
-// served under a read lock, and cache misses are coalesced per user — the
-// lock is NOT held across the service round-trip (so misses for different
-// users overlap their latency, the fleet's whole wall-clock win), yet
-// concurrent misses for the same user still charge exactly one unique query.
-//
-// A Client can additionally run an asynchronous prefetch pool (see
-// NewPrefetchingClient / StartPrefetch): Prefetch(ids...) enqueues
-// speculative fetches that overlap their round-trips with the walk, and a
-// demand Query that lands on an in-flight or completed speculative fetch
-// consumes it at exactly one unique query — never zero, never two.
-type Client struct {
-	svc    *Service
-	mu     sync.RWMutex
-	cache  map[graph.NodeID]cacheEntry
-	flight map[graph.NodeID]*inflight
+// ledger is the client's global billing state. It is deliberately tiny — a
+// handful of int64 counters behind one mutex touched only on the cold paths
+// (misses, commits, speculative upgrades) — so that the hot path, a cache
+// hit, costs exactly one shard read-lock and never contends across shards.
+// Lock order: a user's shard lock first, then the ledger; never the reverse.
+type ledger struct {
+	mu     sync.Mutex
 	unique int64
 	// budget caps unique (demand) queries when positive; the demand path
 	// returns ErrBudgetExhausted rather than billing past it.
@@ -72,23 +62,79 @@ type Client struct {
 	// speculative counts cache entries fetched ahead of demand and not yet
 	// consumed — the pool's outstanding bet.
 	speculative int64
+	// size counts cached users (demanded and speculative). Tracked here so
+	// CacheSize is O(1) and the billing invariant unique + speculative ==
+	// size is checkable at a glance.
+	size int64
+}
+
+// overBudgetLocked reports whether committing to one more unique query —
+// on top of those already billed AND those reserved by in-flight demanded
+// fetches — would exceed the configured budget. Callers hold led.mu.
+func (l *ledger) overBudgetLocked() bool {
+	return l.budget > 0 && l.unique+l.reserved >= l.budget
+}
+
+// Client is the third-party sampler's view of the service. It implements the
+// paper's query-cost accounting (§II-B): "we consider the number of unique
+// queries one has to issue for the sampling process, as any duplicate query
+// can be answered from local cache without consuming the query limit".
+// Every response is cached forever (the paper's Redis/Mongo local store),
+// and cached degree knowledge powers the Theorem 5 extended removal
+// criterion.
+//
+// Client is safe for concurrent use, and its local store is sharded
+// (internal/store): per-user state lives in a power-of-two-sharded map with
+// one RWMutex per shard, so fleet walkers and prefetch workers touching
+// different users never contend — a cache hit is one shard read-lock, and a
+// cache miss is coalesced per user under its shard lock (per-shard
+// singleflight). The lock is NOT held across the service round-trip (misses
+// for different users overlap their latency, the fleet's whole wall-clock
+// win), yet concurrent misses for the same user still charge exactly one
+// unique query. Global billing counters live in a separate one-mutex ledger
+// touched only on cold paths.
+//
+// A Client can additionally run an asynchronous prefetch pool (see
+// NewPrefetchingClient / StartPrefetch): Prefetch(ids...) enqueues
+// speculative fetches that overlap their round-trips with the walk, and a
+// demand Query that lands on an in-flight or completed speculative fetch
+// consumes it at exactly one unique query — never zero, never two.
+type Client struct {
+	svc   *Service
+	state *store.Map[graph.NodeID, nodeState]
+	led   ledger
 
 	// pool is the optional prefetch worker pool; nil means Prefetch is a
-	// no-op. Guarded by poolMu (not mu: enqueueing must not contend with the
-	// cache lock). retired accumulates counters of stopped pools.
+	// no-op. Guarded by poolMu (not the shard locks: enqueueing must not
+	// contend with the cache). retired accumulates counters of stopped pools.
 	poolMu  sync.RWMutex
 	pool    *prefetchPool
 	retired PrefetchStats
 }
 
-// NewClient wraps a service with an empty cache and no prefetch pool.
+// NewClient wraps a service with an empty cache (default shard count) and no
+// prefetch pool.
 func NewClient(svc *Service) *Client {
+	return NewClientShards(svc, 0)
+}
+
+// NewClientShards wraps a service with an empty cache sharded n ways (rounded
+// up to a power of two; n <= 0 selects store.DefaultShards, n == 1 is the
+// legacy single-lock layout the contention benchmarks compare against).
+func NewClientShards(svc *Service, n int) *Client {
 	return &Client{
-		svc:    svc,
-		cache:  make(map[graph.NodeID]cacheEntry),
-		flight: make(map[graph.NodeID]*inflight),
+		svc:   svc,
+		state: store.NewMap[graph.NodeID, nodeState](n),
 	}
 }
+
+// Reshard rebuilds the local store with a new shard count. It is NOT safe to
+// call concurrently with queries — it exists so a Session can apply
+// WithStoreShards before its first run.
+func (c *Client) Reshard(n int) { c.state.Reshard(n) }
+
+// StoreShards returns the local store's shard count.
+func (c *Client) StoreShards() int { return c.state.Shards() }
 
 // SetBudget caps the number of unique (demand) queries at n; once the ledger
 // reaches n, the demand path returns ErrBudgetExhausted instead of billing
@@ -96,16 +142,9 @@ func NewClient(svc *Service) *Client {
 // the speculative pool has its own (PrefetchConfig.Budget) — and it is safe
 // to raise mid-run to resume an exhausted walk.
 func (c *Client) SetBudget(n int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.budget = n
-}
-
-// overBudgetLocked reports whether committing to one more unique query —
-// on top of those already billed AND those reserved by in-flight demanded
-// fetches — would exceed the configured budget. Callers hold c.mu.
-func (c *Client) overBudgetLocked() bool {
-	return c.budget > 0 && c.unique+c.reserved >= c.budget
+	c.led.mu.Lock()
+	defer c.led.mu.Unlock()
+	c.led.budget = n
 }
 
 // Query returns q(v), from cache when possible. Only cache misses reach the
@@ -129,93 +168,119 @@ func (c *Client) Query(v graph.NodeID) (Response, error) {
 // exactly like singleflight; a waiter that sees a context error not its own
 // may simply retry.
 func (c *Client) QueryContext(ctx context.Context, v graph.NodeID) (Response, error) {
-	c.mu.RLock()
-	e, ok := c.cache[v]
-	c.mu.RUnlock()
-	if ok && !e.speculative {
-		return e.resp, nil
+	// Hot path: a demanded cache hit costs one shard read-lock.
+	if st, ok := c.state.Get(v); ok && st.cached && !st.speculative {
+		return st.resp, nil
 	}
 	if err := ctx.Err(); err != nil {
 		return Response{}, err
 	}
-	c.mu.Lock()
-	if e, ok := c.cache[v]; ok {
-		if e.speculative {
-			// First demand touch of a prefetched response: bill it now.
-			if c.overBudgetLocked() {
-				c.mu.Unlock()
-				return Response{}, ErrBudgetExhausted
+	var (
+		resp    Response
+		retErr  error
+		settled bool // resolved under the shard lock; return immediately
+		f       *inflight
+		owner   bool // this call claimed the fetch and must drive it
+	)
+	c.state.Locked(v, func(s store.LockedShard[graph.NodeID, nodeState]) {
+		st, ok := s.Get(v)
+		switch {
+		case ok && st.cached:
+			if st.speculative {
+				// First demand touch of a prefetched response: bill it now.
+				c.led.mu.Lock()
+				if c.led.overBudgetLocked() {
+					c.led.mu.Unlock()
+					retErr = ErrBudgetExhausted
+					settled = true
+					return
+				}
+				c.led.unique++
+				c.led.speculative--
+				c.led.mu.Unlock()
+				st.speculative = false
+				s.Put(v, st)
 			}
-			e.speculative = false
-			c.cache[v] = e
-			c.unique++
-			c.speculative--
+			resp = st.resp
+			settled = true
+		case ok && st.flight != nil:
+			// Someone else — a sibling walker or the prefetch pool — is
+			// already fetching v: register demand so commit bills it, then
+			// wait for the shared round-trip. Budget is consulted (and a
+			// reservation taken) only when this is the fetch's FIRST demand;
+			// coalescing onto an already-demanded fetch costs nothing.
+			f = st.flight
+			if f.demand == 0 {
+				c.led.mu.Lock()
+				if c.led.overBudgetLocked() {
+					c.led.mu.Unlock()
+					f = nil
+					retErr = ErrBudgetExhausted
+					settled = true
+					return
+				}
+				c.led.reserved++
+				c.led.mu.Unlock()
+			}
+			f.demand++
+		default:
+			c.led.mu.Lock()
+			if c.led.overBudgetLocked() {
+				c.led.mu.Unlock()
+				retErr = ErrBudgetExhausted
+				settled = true
+				return
+			}
+			c.led.reserved++
+			c.led.mu.Unlock()
+			f = &inflight{done: make(chan struct{}), demand: 1}
+			owner = true
+			s.Put(v, nodeState{flight: f})
 		}
-		c.mu.Unlock()
-		return e.resp, nil
+	})
+	if settled {
+		return resp, retErr
 	}
-	if f, ok := c.flight[v]; ok {
-		// Someone else — a sibling walker or the prefetch pool — is already
-		// fetching v: register demand so commit bills it, then wait for the
-		// shared round-trip. Budget is consulted (and a reservation taken)
-		// only when this is the fetch's FIRST demand; coalescing onto an
-		// already-demanded fetch costs nothing.
-		if f.demand == 0 {
-			if c.overBudgetLocked() {
-				c.mu.Unlock()
-				return Response{}, ErrBudgetExhausted
-			}
-			c.reserved++
+	if owner {
+		f.resp, f.err = c.svc.QueryContext(ctx, v)
+		c.commit(v, f)
+		if f.err != nil {
+			return Response{}, f.err
 		}
-		f.demand++
-		c.mu.Unlock()
-		select {
-		case <-f.done:
-			if f.err != nil {
-				return Response{}, f.err
-			}
-			return f.resp, nil
-		case <-ctx.Done():
-			// Withdraw the demand unless the fetch already committed (the
-			// flight entry is removed under the lock before done is closed,
-			// so checking it decides the race consistently).
-			c.mu.Lock()
-			withdrawn := false
-			if _, still := c.flight[v]; still {
+		return f.resp, nil
+	}
+	select {
+	case <-f.done:
+		if f.err != nil {
+			return Response{}, f.err
+		}
+		return f.resp, nil
+	case <-ctx.Done():
+		// Withdraw the demand unless the fetch already committed (commit
+		// removes the flight entry under the shard lock before closing done,
+		// so checking it decides the race consistently).
+		withdrawn := false
+		c.state.Locked(v, func(s store.LockedShard[graph.NodeID, nodeState]) {
+			if st, ok := s.Get(v); ok && st.flight == f {
 				f.demand--
 				if f.demand == 0 {
-					c.reserved-- // last demander gone: release the reservation
+					c.led.mu.Lock()
+					c.led.reserved-- // last demander gone: release the reservation
+					c.led.mu.Unlock()
 				}
 				withdrawn = true
 			}
-			c.mu.Unlock()
-			if !withdrawn {
-				// Commit won: the response (if any) is cached and billed on
-				// this walker's behalf — return it rather than the late
-				// cancellation.
-				<-f.done
-				if f.err == nil {
-					return f.resp, nil
-				}
+		})
+		if !withdrawn {
+			// Commit won: the response (if any) is cached and billed on this
+			// walker's behalf — return it rather than the late cancellation.
+			<-f.done
+			if f.err == nil {
+				return f.resp, nil
 			}
-			return Response{}, ctx.Err()
 		}
+		return Response{}, ctx.Err()
 	}
-	if c.overBudgetLocked() {
-		c.mu.Unlock()
-		return Response{}, ErrBudgetExhausted
-	}
-	f := &inflight{done: make(chan struct{}), demand: 1}
-	c.reserved++
-	c.flight[v] = f
-	c.mu.Unlock()
-
-	f.resp, f.err = c.svc.QueryContext(ctx, v)
-	c.commit(v, f)
-	if f.err != nil {
-		return Response{}, f.err
-	}
-	return f.resp, nil
 }
 
 // commit publishes a finished fetch: the response enters the cache (tagged
@@ -223,20 +288,26 @@ func (c *Client) QueryContext(ctx context.Context, v graph.NodeID) (Response, er
 // billed for demanded fetches, and waiters are released. Failed fetches
 // cache nothing and bill nothing — the next demand retries.
 func (c *Client) commit(v graph.NodeID, f *inflight) {
-	c.mu.Lock()
-	if f.demand > 0 {
-		c.reserved-- // the reservation resolves here: into a bill or a retry
-	}
-	if f.err == nil {
-		c.cache[v] = cacheEntry{resp: f.resp, speculative: f.demand == 0}
+	c.state.Locked(v, func(s store.LockedShard[graph.NodeID, nodeState]) {
+		c.led.mu.Lock()
 		if f.demand > 0 {
-			c.unique++
-		} else {
-			c.speculative++
+			c.led.reserved-- // the reservation resolves here: into a bill or a retry
 		}
-	}
-	delete(c.flight, v)
-	c.mu.Unlock()
+		if f.err == nil {
+			if f.demand > 0 {
+				c.led.unique++
+			} else {
+				c.led.speculative++
+			}
+			c.led.size++
+		}
+		c.led.mu.Unlock()
+		if f.err == nil {
+			s.Put(v, nodeState{resp: f.resp, cached: true, speculative: f.demand == 0})
+		} else {
+			s.Delete(v)
+		}
+	})
 	close(f.done)
 }
 
@@ -249,19 +320,26 @@ func (c *Client) commit(v graph.NodeID, f *inflight) {
 // hints, which lose the race against the walker's own demand query almost
 // every time.
 func (c *Client) fetchSpeculative(ctx context.Context, v graph.NodeID) (resp Response, fetched bool, pending *inflight) {
-	c.mu.Lock()
-	if e, ok := c.cache[v]; ok {
-		c.mu.Unlock()
-		return e.resp, false, nil
+	var (
+		f      *inflight
+		cached bool
+	)
+	c.state.Locked(v, func(s store.LockedShard[graph.NodeID, nodeState]) {
+		st, ok := s.Get(v)
+		switch {
+		case ok && st.cached:
+			resp = st.resp
+			cached = true
+		case ok && st.flight != nil:
+			pending = st.flight
+		default:
+			f = &inflight{done: make(chan struct{})}
+			s.Put(v, nodeState{flight: f})
+		}
+	})
+	if cached || pending != nil {
+		return resp, false, pending
 	}
-	if f, ok := c.flight[v]; ok {
-		c.mu.Unlock()
-		return Response{}, false, f
-	}
-	f := &inflight{done: make(chan struct{})}
-	c.flight[v] = f
-	c.mu.Unlock()
-
 	f.resp, f.err = c.svc.QueryContext(ctx, v)
 	c.commit(v, f)
 	return f.resp, f.err == nil, nil
@@ -288,11 +366,8 @@ func (c *Client) QueryBatchContext(ctx context.Context, ids []graph.NodeID) ([]R
 	errs := make([]error, len(ids))
 	var wg sync.WaitGroup
 	for i, v := range ids {
-		c.mu.RLock()
-		e, ok := c.cache[v]
-		c.mu.RUnlock()
-		if ok && !e.speculative {
-			out[i] = e.resp
+		if st, ok := c.state.Get(v); ok && st.cached && !st.speculative {
+			out[i] = st.resp
 			continue
 		}
 		wg.Add(1)
@@ -346,10 +421,8 @@ func (c *Client) Degree(v graph.NodeID) int {
 // must see the exact same world with and without prefetching, or enabling
 // the pool would silently change trajectories and query bills.
 func (c *Client) Cached(v graph.NodeID) bool {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.cache[v]
-	return ok && !e.speculative
+	st, ok := c.state.Get(v)
+	return ok && st.cached && !st.speculative
 }
 
 // Known reports whether a fetch for v is already cached (demanded or
@@ -357,13 +430,8 @@ func (c *Client) Cached(v graph.NodeID) bool {
 // would be redundant. Prefetch strategies use it to spend their hint budget
 // on genuinely cold nodes.
 func (c *Client) Known(v graph.NodeID) bool {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if _, ok := c.cache[v]; ok {
-		return true
-	}
-	_, ok := c.flight[v]
-	return ok
+	// Failed fetches delete their entry, so presence == cached or in flight.
+	return c.state.Contains(v)
 }
 
 // CachedDegree returns v's degree if — and only if — it is already known
@@ -371,37 +439,31 @@ func (c *Client) Known(v graph.NodeID) bool {
 // "historical information ... without paying any query cost" of the paper's
 // Theorem 5 extension. Speculative entries are excluded (see Cached).
 func (c *Client) CachedDegree(v graph.NodeID) (int, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.cache[v]
-	if !ok || e.speculative {
+	st, ok := c.state.Get(v)
+	if !ok || !st.cached || st.speculative {
 		return 0, false
 	}
-	return len(e.resp.Neighbors), true
+	return len(st.resp.Neighbors), true
 }
 
 // CachedNeighbors returns v's neighbor list (shared slice, do not modify) if
 // already demand-cached. Prefetch strategies use it to read the walk
 // frontier without spending queries.
 func (c *Client) CachedNeighbors(v graph.NodeID) ([]graph.NodeID, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.cache[v]
-	if !ok || e.speculative {
+	st, ok := c.state.Get(v)
+	if !ok || !st.cached || st.speculative {
 		return nil, false
 	}
-	return e.resp.Neighbors, true
+	return st.resp.Neighbors, true
 }
 
 // CachedAttrs returns v's attributes if already demand-cached.
 func (c *Client) CachedAttrs(v graph.NodeID) (UserAttrs, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.cache[v]
-	if !ok || e.speculative {
+	st, ok := c.state.Get(v)
+	if !ok || !st.cached || st.speculative {
 		return UserAttrs{}, false
 	}
-	return e.resp.Attrs, true
+	return st.resp.Attrs, true
 }
 
 // UniqueQueries returns the paper's query-cost metric: responses a sampler
@@ -409,17 +471,17 @@ func (c *Client) CachedAttrs(v graph.NodeID) (UserAttrs, bool) {
 // cache are not included — see SpeculativeCount for the pool's outstanding
 // bet and Service.TotalQueries for the provider's view.
 func (c *Client) UniqueQueries() int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.unique
+	c.led.mu.Lock()
+	defer c.led.mu.Unlock()
+	return c.led.unique
 }
 
 // SpeculativeCount returns the number of prefetched responses no demand
 // query has consumed yet.
 func (c *Client) SpeculativeCount() int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.speculative
+	c.led.mu.Lock()
+	defer c.led.mu.Unlock()
+	return c.led.speculative
 }
 
 // NumUsers exposes the provider-published user count.
@@ -428,7 +490,7 @@ func (c *Client) NumUsers() int { return c.svc.NumUsers() }
 // CacheSize returns the number of distinct users stored locally (demanded
 // and speculative).
 func (c *Client) CacheSize() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.cache)
+	c.led.mu.Lock()
+	defer c.led.mu.Unlock()
+	return int(c.led.size)
 }

@@ -288,8 +288,9 @@ func (p *prefetchPool) run(j prefetchJob) {
 // speculative or demanded — pool-internal only: the pool may expand any
 // known neighborhood without upgrading the entry's billing state.
 func (c *Client) cachedResponse(v graph.NodeID) (Response, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.cache[v]
-	return e.resp, ok
+	st, ok := c.state.Get(v)
+	if !ok || !st.cached {
+		return Response{}, false
+	}
+	return st.resp, true
 }

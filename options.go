@@ -103,6 +103,7 @@ type config struct {
 	pJump       float64
 	partitioned bool
 	prefetch    *PrefetchOptions
+	shards      int   // 0 = store default
 	err         error // first option-validation failure, surfaced by NewSession
 }
 
@@ -224,6 +225,28 @@ func WithJumpProbability(p float64) Option {
 // drain the budget.
 func WithPartitionedBudget(on bool) Option {
 	return func(c *config) { c.partitioned = on }
+}
+
+// WithStoreShards sets the shard count of the session's storage engine —
+// the sharded maps behind the provider's query cache and the MTO overlay's
+// edit sets and materialized lists (internal/store). n is rounded up to a
+// power of two. The default (64) suits fleets up to a few dozen walkers;
+// raise it for very large fleets on many-core machines, or set 1 to force
+// the legacy single-lock layout the contention benchmarks compare against.
+// Sharding is invisible to results: trajectories and query bills for a fixed
+// seed are identical at any shard count.
+//
+// Applying the option re-buckets the backing Provider's store at NewSession
+// time, so construct the session before sharing that Provider with anything
+// that queries it concurrently.
+func WithStoreShards(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			c.fail(fmt.Errorf("rewire: store shards %d < 1", n))
+			return
+		}
+		c.shards = n
+	}
 }
 
 // WithPrefetch enables the speculative query pipeline: a worker pool fetches

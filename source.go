@@ -2,6 +2,7 @@ package rewire
 
 import (
 	"context"
+	"slices"
 	"time"
 
 	"rewire/internal/osn"
@@ -15,7 +16,12 @@ import (
 // interface, and the context-taking form is what makes cancellation and
 // deadlines abort in-flight round-trips.
 type Source interface {
-	// Neighbors returns v's neighbor list (shared slice, do not modify).
+	// Neighbors returns v's neighbor list. GraphSource hands out a read-only
+	// view into its graph's CSR storage (zero-copy, capacity clipped so an
+	// append reallocates); Provider returns a defensive copy, because its
+	// cached lists also feed the billing ledger and the Theorem 5 criterion
+	// and must stay immune to caller mutation. Either way the caller owns no
+	// right to modify elements of a view.
 	Neighbors(v NodeID) []NodeID
 	// Degree returns len(Neighbors(v)).
 	Degree(v NodeID) int
@@ -30,6 +36,9 @@ type Source interface {
 
 // GraphSource exposes an in-memory graph as a Source: every read is free and
 // instantaneous, so sessions over it measure pure algorithm behavior.
+// Neighbor lists are read-only views into the graph's CSR arrays — never
+// modify their elements (appending is safe: views have clipped capacity, so
+// an append reallocates instead of touching the graph).
 func GraphSource(g *Graph) Source { return graphSource{g} }
 
 type graphSource struct{ g *Graph }
@@ -93,24 +102,32 @@ func Simulate(g *Graph, limits Limits) *Provider {
 
 // Neighbors returns v's neighbor list, querying (and billing) on a cache
 // miss; nil for unknown IDs or failed round-trips — use NeighborsContext to
-// see the error.
-func (p *Provider) Neighbors(v NodeID) []NodeID { return p.client.Neighbors(v) }
+// see the error. The returned slice is a defensive copy: the cached list
+// also backs the client's free-knowledge accessors (Theorem 5) and must not
+// be mutable from outside.
+func (p *Provider) Neighbors(v NodeID) []NodeID {
+	return slices.Clone(p.client.Neighbors(v))
+}
 
 // Degree returns v's degree, querying on a cache miss.
 func (p *Provider) Degree(v NodeID) int { return p.client.Degree(v) }
 
-// NeighborsContext returns v's neighbor list with the round-trip bound to
-// ctx; cancellation aborts the in-flight request without billing it.
+// NeighborsContext returns v's neighbor list (a defensive copy, like
+// Neighbors) with the round-trip bound to ctx; cancellation aborts the
+// in-flight request without billing it.
 func (p *Provider) NeighborsContext(ctx context.Context, v NodeID) ([]NodeID, error) {
-	return p.client.NeighborsContext(ctx, v)
+	nbrs, err := p.client.NeighborsContext(ctx, v)
+	return slices.Clone(nbrs), err
 }
 
 // NumUsers returns the provider-published user count.
 func (p *Provider) NumUsers() int { return p.client.NumUsers() }
 
-// Query resolves q(v) under ctx and returns v's neighbor list.
+// Query resolves q(v) under ctx and returns v's neighbor list (a defensive
+// copy, like Neighbors).
 func (p *Provider) Query(ctx context.Context, v NodeID) ([]NodeID, error) {
-	return p.client.NeighborsContext(ctx, v)
+	nbrs, err := p.client.NeighborsContext(ctx, v)
+	return slices.Clone(nbrs), err
 }
 
 // QueryBatch resolves all ids under ctx, overlapping the misses' round-trips,
@@ -121,7 +138,7 @@ func (p *Provider) QueryBatch(ctx context.Context, ids []NodeID) ([][]NodeID, er
 	resps, err := p.client.QueryBatchContext(ctx, ids)
 	out := make([][]NodeID, len(resps))
 	for i, r := range resps {
-		out[i] = r.Neighbors
+		out[i] = slices.Clone(r.Neighbors)
 	}
 	return out, err
 }
