@@ -1,10 +1,13 @@
 // Command graphgen generates the calibrated synthetic datasets (or custom
-// social graphs) and writes them as SNAP-style edge lists.
+// social graphs) and writes them as SNAP-style edge lists, binary CSR
+// snapshots, or both.
 //
 // Usage:
 //
 //	graphgen -preset epinions -out epinions.txt
 //	graphgen -nodes 10000 -edges 50000 -seed 3 -out custom.txt
+//	graphgen -preset epinions -snapshot epinions.csr
+//	mto-sample -source snapshot:epinions.csr -alg MTO   # O(1) reopen
 package main
 
 import (
@@ -23,16 +26,17 @@ func main() {
 		nodes  = flag.Int("nodes", 10000, "custom graph: node count")
 		edges  = flag.Int("edges", 50000, "custom graph: target edge count")
 		seed   = flag.Uint64("seed", 1, "random seed")
-		out    = flag.String("out", "", "output file (default stdout)")
+		out    = flag.String("out", "", "edge-list output file (default stdout unless -snapshot is given)")
+		snap   = flag.String("snapshot", "", "also (or only) write a binary CSR snapshot, openable via rewire.Open(\"snapshot:<path>\")")
 	)
 	flag.Parse()
-	if err := run(*preset, *nodes, *edges, *seed, *out); err != nil {
+	if err := run(*preset, *nodes, *edges, *seed, *out, *snap); err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(preset string, nodes, edges int, seed uint64, out string) error {
+func run(preset string, nodes, edges int, seed uint64, out, snap string) error {
 	var g *graph.Graph
 	switch preset {
 	case "epinions":
@@ -61,17 +65,25 @@ func run(preset string, nodes, edges int, seed uint64, out string) error {
 		return fmt.Errorf("unknown preset %q", preset)
 	}
 
-	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
+	if snap != "" {
+		if err := g.WriteSnapshotFile(snap); err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
+		fmt.Fprintf(os.Stderr, "graphgen: wrote CSR snapshot %s\n", snap)
 	}
-	if err := g.WriteEdgeList(w); err != nil {
-		return err
+	if out != "" || snap == "" {
+		w := os.Stdout
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := g.WriteEdgeList(w); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(os.Stderr, "graphgen: %d nodes, %d edges written\n", g.NumNodes(), g.NumEdges())
 	return nil

@@ -29,7 +29,7 @@ type prefetchFlags struct {
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: table1|running|fig7|fig8|fig9|fig10|fig11|theorem6|fleet|prefetch|contention|all, or bench (standalone CI suite, not part of all)")
+		which    = flag.String("exp", "all", "experiment: table1|running|fig7|fig8|fig9|fig10|fig11|theorem6|fleet|prefetch|contention|all, or bench/memsmoke/snapcold (standalone CI workloads, not part of all)")
 		full     = flag.Bool("full", false, "run at full paper scale (slower)")
 		seed     = flag.Uint64("seed", 1, "master random seed")
 		dataset  = flag.String("dataset", "", "restrict fig7 to one dataset (default: all three)")
@@ -228,9 +228,24 @@ func run(which string, full bool, seed uint64, dataset, jsonOut string, pf prefe
 			return err
 		}
 	}
+	if which == "snapcold" {
+		// Standalone: the snapshot backend's cold path in isolation (the
+		// bench suite's SnapshotOpenCold row runs the same workload).
+		section("Snapshot cold open — CSR snapshot open + 10k-step walk")
+		ds := exp.Datasets(full)[0]
+		row, err := exp.RunSnapshotCold(ds, 10_000, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "dataset: %s (%d nodes, %d edges)\nopen+walk wall: %s\nunique queries: %d\n",
+			ds.Name, ds.Graph.NumNodes(), ds.Graph.NumEdges(), row.Wall, row.Unique)
+	}
 	if which == "bench" {
 		section("Bench suite — deterministic CI gate workloads")
-		suite := exp.BenchSuite(seed)
+		suite, err := exp.BenchSuite(seed)
+		if err != nil {
+			return err
+		}
 		renderSuite(out, suite)
 		if jsonOut != "" {
 			if err := benchcmp.Save(jsonOut, suite); err != nil {
@@ -241,7 +256,7 @@ func run(which string, full bool, seed uint64, dataset, jsonOut string, pf prefe
 	}
 	if !all {
 		switch which {
-		case "table1", "running", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem6", "fleet", "prefetch", "contention", "bench", "memsmoke":
+		case "table1", "running", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem6", "fleet", "prefetch", "contention", "bench", "memsmoke", "snapcold":
 		default:
 			return fmt.Errorf("unknown experiment %q", which)
 		}

@@ -8,9 +8,14 @@
 //	mto-sample -dataset Epinions -alg MTO -samples 4000
 //	mto-sample -graph edges.txt -alg SRW -fleet 8 -timeout 30s
 //	mto-sample -alg MTO -budget 2000           # stop at 2000 unique queries
+//	mto-sample -source snapshot:crawl.csr -alg MTO
+//	mto-sample -source http://host/graph -alg SRW -fleet 8
 //
 // A -timeout deadline or a -budget cap ends the run early with whatever has
 // been sampled: the session is the paper's protocol made interruptible.
+// -source opens any registered backend URL (mem:, sim:, http(s)://,
+// snapshot:) instead of simulating over a local graph; ground-truth columns
+// are skipped because no local topology exists to compare against.
 package main
 
 import (
@@ -29,6 +34,7 @@ func main() {
 		dataset = flag.String("dataset", "Epinions", "preset dataset: Epinions | 'Slashdot A' | 'Slashdot B' | 'Google Plus'")
 		full    = flag.Bool("full", false, "use the full-scale preset")
 		file    = flag.String("graph", "", "edge-list file (overrides -dataset)")
+		source  = flag.String("source", "", "backend URL (mem:, sim:, http://, snapshot:) — overrides -dataset/-graph/-facebook-limits")
 		alg     = flag.String("alg", "MTO", "sampler: SRW|MTO|MTO_RM|MTO_RP|MHRW|RJ")
 		fleetK  = flag.Int("fleet", 1, "concurrent walkers sharing the budget and overlay")
 		samples = flag.Int("samples", 4000, "samples after burn-in")
@@ -39,7 +45,7 @@ func main() {
 		budget  = flag.Int64("budget", 0, "unique-query budget (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := run(*dataset, *full, *file, *alg, *fleetK, *samples, *geweke, *seed, *limitFB, *timeout, *budget); err != nil {
+	if err := run(*dataset, *full, *file, *source, *alg, *fleetK, *samples, *geweke, *seed, *limitFB, *timeout, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, "mto-sample:", err)
 		os.Exit(1)
 	}
@@ -66,10 +72,20 @@ func options(alg string) ([]rewire.Option, error) {
 	}
 }
 
-func run(dataset string, full bool, file, alg string, fleetK, samples int, geweke float64, seed uint64, limitFB bool, timeout time.Duration, budget int64) error {
-	var g *rewire.Graph
+func run(dataset string, full bool, file, source, alg string, fleetK, samples int, geweke float64, seed uint64, limitFB bool, timeout time.Duration, budget int64) error {
+	var g *rewire.Graph // nil when -source names an external backend
+	var provider *rewire.Provider
 	var err error
 	switch {
+	case source != "":
+		openCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		provider, err = rewire.Open(openCtx, source)
+		cancel()
+		if err != nil {
+			return err
+		}
+		defer provider.Close()
+		dataset = source
 	case file != "":
 		if g, err = rewire.ReadEdgeListFile(file); err != nil {
 			return err
@@ -80,12 +96,13 @@ func run(dataset string, full bool, file, alg string, fleetK, samples int, gewek
 			return err
 		}
 	}
-
-	limits := rewire.Limits{}
-	if limitFB {
-		limits = rewire.FacebookLimits()
+	if provider == nil {
+		limits := rewire.Limits{}
+		if limitFB {
+			limits = rewire.FacebookLimits()
+		}
+		provider = rewire.Simulate(g, limits)
 	}
-	provider := rewire.Simulate(g, limits)
 	if budget > 0 {
 		provider.SetBudget(budget)
 	}
@@ -121,16 +138,24 @@ func run(dataset string, full bool, file, alg string, fleetK, samples int, gewek
 		return err
 	}
 
-	truth := g.AverageDegree()
-	fmt.Printf("dataset:            %s (%d nodes, %d edges)\n", dataset, g.NumNodes(), g.NumEdges())
+	if g != nil {
+		fmt.Printf("dataset:            %s (%d nodes, %d edges)\n", dataset, g.NumNodes(), g.NumEdges())
+	} else {
+		fmt.Printf("source:             %s (%d users)\n", dataset, provider.NumUsers())
+	}
 	fmt.Printf("sampler:            %s (seed %d, fleet %d)\n", alg, seed, fleetK)
 	fmt.Printf("burn-in:            %d steps (converged: %v)\n", res.BurnInSteps, res.Converged)
 	fmt.Printf("samples:            %d\n", res.Samples)
 	fmt.Printf("estimated avg deg:  %.4f\n", res.Estimate)
-	fmt.Printf("true avg degree:    %.4f\n", truth)
-	fmt.Printf("relative error:     %.4f\n", rewire.RelativeError(res.Estimate, truth))
+	if g != nil {
+		truth := g.AverageDegree()
+		fmt.Printf("true avg degree:    %.4f\n", truth)
+		fmt.Printf("relative error:     %.4f\n", rewire.RelativeError(res.Estimate, truth))
+	}
 	fmt.Printf("unique query cost:  %d\n", res.UniqueQueries)
-	if limitFB {
+	if limitFB && g != nil {
+		// -source backends are not simulated: -facebook-limits is documented
+		// as overridden, so don't print zeroed simulation telemetry for them.
 		fmt.Printf("simulated time:     %s (%d rate-limit waits)\n",
 			provider.SimulatedElapsed(), provider.RateLimitWaits())
 	}

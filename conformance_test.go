@@ -1,0 +1,197 @@
+package rewire_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"rewire"
+	"rewire/internal/graph"
+	"rewire/internal/httpsrc"
+)
+
+// conformanceGraph is the reference topology every driver serves in the
+// cross-backend suite.
+func conformanceGraph(t *testing.T) *rewire.Graph {
+	t.Helper()
+	g, err := rewire.SocialGraph(120, 480, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// conformanceTargets returns one Open URL per registered built-in driver,
+// all serving conformanceGraph's topology. Cleanup is hooked into t.
+func conformanceTargets(t *testing.T, g *rewire.Graph) map[string]string {
+	t.Helper()
+	srv := httptest.NewServer(httpsrc.Handler(toInternal(g), httpsrc.ServerOptions{}))
+	t.Cleanup(srv.Close)
+
+	snapPath := filepath.Join(t.TempDir(), "conformance.csr")
+	if err := rewire.WriteSnapshotFile(snapPath, g); err != nil {
+		t.Fatal(err)
+	}
+
+	return map[string]string{
+		"mem":               "mem:social?nodes=120&edges=480&seed=5",
+		"sim":               "sim:social?nodes=120&edges=480&seed=5",
+		"http":              srv.URL + "?timeout=5s&backoff=1ms&max_backoff=10ms",
+		"snapshot":          "snapshot:" + snapPath,
+		"snapshot-readerat": "snapshot:" + snapPath + "?mode=readerat",
+	}
+}
+
+// toInternal converts the public alias (identical underlying type).
+func toInternal(g *rewire.Graph) *graph.Graph { return g }
+
+// TestBackendConformance runs the shared driver conformance suite against
+// every built-in scheme: identical topology answers, consistent
+// ErrNoSuchUser behavior, exact unique-query billing, defensive copies, and
+// a working Session end to end. Anything registering a third-party driver
+// should pass the same checks.
+func TestBackendConformance(t *testing.T) {
+	ctx := context.Background()
+	g := conformanceGraph(t)
+	for name, target := range conformanceTargets(t, g) {
+		t.Run(name, func(t *testing.T) {
+			p, err := rewire.Open(ctx, target)
+			if err != nil {
+				t.Fatalf("Open(%q): %v", target, err)
+			}
+			defer p.Close()
+
+			if n := p.NumUsers(); n != g.NumNodes() {
+				t.Fatalf("NumUsers = %d, want %d", n, g.NumNodes())
+			}
+
+			// Topology equivalence on a sample of nodes, via every read path.
+			for _, v := range []rewire.NodeID{0, 1, 7, rewire.NodeID(g.NumNodes() - 1)} {
+				want := g.Neighbors(v)
+				got, err := p.NeighborsContext(ctx, v)
+				if err != nil {
+					t.Fatalf("NeighborsContext(%d): %v", v, err)
+				}
+				if !slices.Equal(got, want) {
+					t.Fatalf("NeighborsContext(%d) = %v, want %v", v, got, want)
+				}
+				if d := p.Degree(v); d != len(want) {
+					t.Fatalf("Degree(%d) = %d, want %d", v, d, len(want))
+				}
+				if nb := p.Neighbors(v); !slices.Equal(nb, want) {
+					t.Fatalf("Neighbors(%d) = %v, want %v", v, nb, want)
+				}
+			}
+
+			// Unknown ids fail with ErrNoSuchUser on every backend.
+			for _, v := range []rewire.NodeID{-1, rewire.NodeID(g.NumNodes()), 1 << 29} {
+				if _, err := p.NeighborsContext(ctx, v); !errors.Is(err, rewire.ErrNoSuchUser) {
+					t.Fatalf("NeighborsContext(%d) err = %v, want ErrNoSuchUser", v, err)
+				}
+			}
+			if _, err := p.QueryBatch(ctx, []rewire.NodeID{2, rewire.NodeID(g.NumNodes())}); !errors.Is(err, rewire.ErrNoSuchUser) {
+				t.Fatalf("QueryBatch with unknown id err = %v, want ErrNoSuchUser", err)
+			}
+
+			// A cancelled context surfaces its error, not a silent nil list.
+			cctx, cancel := context.WithCancel(ctx)
+			cancel()
+			if _, err := p.NeighborsContext(cctx, 3); !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled NeighborsContext err = %v, want context.Canceled", err)
+			}
+
+			// Billing: re-reading the sampled nodes above cost one unique query
+			// each, batches dedupe, and the bill equals the cache size.
+			before := p.UniqueQueries()
+			if _, err := p.QueryBatch(ctx, []rewire.NodeID{0, 1, 7, 0, 1, 7}); err != nil {
+				t.Fatalf("QueryBatch: %v", err)
+			}
+			if after := p.UniqueQueries(); after != before {
+				t.Fatalf("re-querying cached nodes billed %d new queries", after-before)
+			}
+			if int64(p.CacheSize()) != p.UniqueQueries() {
+				t.Fatalf("cache size %d != unique queries %d", p.CacheSize(), p.UniqueQueries())
+			}
+
+			// Defensive copies: mutating a returned list must not poison the
+			// cache.
+			nbrs, err := p.NeighborsContext(ctx, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range nbrs {
+				nbrs[i] = -42
+			}
+			if again, _ := p.NeighborsContext(ctx, 7); !slices.Equal(again, g.Neighbors(7)) {
+				t.Fatal("caller mutation leaked into the provider cache")
+			}
+
+			// End to end: a short SRW fleet session over the provider.
+			s, err := rewire.NewSession(p,
+				rewire.WithAlgorithm(rewire.AlgSRW),
+				rewire.WithFleet(2),
+				rewire.WithSeed(3),
+				rewire.WithPartitionedBudget(true),
+			)
+			if err != nil {
+				t.Fatalf("NewSession: %v", err)
+			}
+			samples, err := s.Samples(ctx, 50)
+			if err != nil {
+				t.Fatalf("Samples: %v", err)
+			}
+			if len(samples) != 50 {
+				t.Fatalf("drew %d samples, want 50", len(samples))
+			}
+			for _, smp := range samples {
+				if smp.Node < 0 || int(smp.Node) >= g.NumNodes() {
+					t.Fatalf("sample node %d outside the graph", smp.Node)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceTrajectoriesAgree pins that a fixed-seed partitioned walk
+// produces the same trajectory over every backend — the topology is
+// identical, so the walk must be too.
+func TestConformanceTrajectoriesAgree(t *testing.T) {
+	ctx := context.Background()
+	g := conformanceGraph(t)
+	targets := conformanceTargets(t, g)
+	var want []rewire.Sample
+	var wantBill int64
+	for _, name := range []string{"mem", "sim", "http", "snapshot", "snapshot-readerat"} {
+		target := targets[name]
+		p, err := rewire.Open(ctx, target)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", target, err)
+		}
+		s, err := rewire.NewSession(p,
+			rewire.WithAlgorithm(rewire.AlgSRW),
+			rewire.WithSeed(11),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Samples(ctx, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bill := p.UniqueQueries()
+		p.Close()
+		if want == nil {
+			want, wantBill = got, bill
+			continue
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("%s: trajectory diverged from the reference backend", name)
+		}
+		if bill != wantBill {
+			t.Fatalf("%s: unique-query bill %d, want %d", name, bill, wantBill)
+		}
+	}
+}

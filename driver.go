@@ -1,0 +1,422 @@
+package rewire
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"os"
+	"slices"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"rewire/internal/gen"
+	"rewire/internal/graph"
+	"rewire/internal/httpsrc"
+	"rewire/internal/osn"
+	"rewire/internal/rng"
+)
+
+// Driver opens a Backend from a parsed URL — the sql-driver-style extension
+// point of the SDK. Built-in schemes:
+//
+//	mem:barbell?n=50              in-memory generated graph (free, local)
+//	mem:social?nodes=1000&edges=4000&seed=1
+//	mem:preset?name=Epinions&full=false
+//	sim:barbell?n=50&limits=facebook   simulated restrictive provider over
+//	                                   the same graph specs (qpw, window,
+//	                                   latency, real override individual
+//	                                   quota fields)
+//	http://host/path?timeout=5s   live JSON neighbor-list provider
+//	                              (driver params: timeout, retries, backoff,
+//	                              max_backoff, batch — anything else is
+//	                              forwarded to the provider)
+//	snapshot:crawl.csr            read-only binary CSR snapshot, mmap'd on
+//	                              linux (?mode=readerat forces the portable
+//	                              io.ReaderAt path)
+//
+// Third parties add schemes with Register. Open never retains u; a Driver
+// may.
+type Driver interface {
+	Open(ctx context.Context, u *url.URL) (Backend, error)
+}
+
+// DriverFunc adapts a function to the Driver interface.
+type DriverFunc func(ctx context.Context, u *url.URL) (Backend, error)
+
+// Open implements Driver.
+func (f DriverFunc) Open(ctx context.Context, u *url.URL) (Backend, error) { return f(ctx, u) }
+
+var (
+	driversMu sync.RWMutex
+	drivers   = make(map[string]Driver)
+)
+
+// Register makes a driver available to Open under the given URL scheme. It
+// panics on an empty scheme, a nil driver, or a duplicate registration —
+// like database/sql, registration is an init-time affair and such mistakes
+// are programmer errors.
+func Register(scheme string, d Driver) {
+	driversMu.Lock()
+	defer driversMu.Unlock()
+	if scheme == "" {
+		panic("rewire: Register with empty scheme")
+	}
+	if d == nil {
+		panic("rewire: Register with nil driver")
+	}
+	if _, dup := drivers[scheme]; dup {
+		panic("rewire: Register called twice for scheme " + scheme)
+	}
+	drivers[scheme] = d
+}
+
+// Drivers returns the registered scheme names, sorted.
+func Drivers() []string {
+	driversMu.RLock()
+	defer driversMu.RUnlock()
+	out := make([]string, 0, len(drivers))
+	for s := range drivers {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open resolves rawURL's scheme against the driver registry, opens the
+// backend under ctx (drivers use it for their connectivity probes — an
+// unreachable HTTP provider fails here, not on the first walk step), and
+// wraps it in a Provider: the cached, demand-billed, budget- and
+// prefetch-capable Source every backend gets for free. Close the Provider
+// when done; backends holding resources (snapshot mappings, HTTP
+// connections) release them there.
+func Open(ctx context.Context, rawURL string) (*Provider, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("rewire: parsing %q: %w", rawURL, err)
+	}
+	if u.Scheme == "" {
+		return nil, fmt.Errorf("%w: %q has no scheme (want e.g. mem:, sim:, http://, snapshot:)", ErrUnknownScheme, rawURL)
+	}
+	driversMu.RLock()
+	d, ok := drivers[u.Scheme]
+	driversMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownScheme, u.Scheme, Drivers())
+	}
+	be, err := d.Open(ctx, u)
+	if err != nil {
+		return nil, err
+	}
+	return BackendSource(be), nil
+}
+
+func init() {
+	Register("mem", DriverFunc(openMem))
+	Register("sim", DriverFunc(openSim))
+	Register("http", DriverFunc(openHTTP))
+	Register("https", DriverFunc(openHTTP))
+	Register("snapshot", DriverFunc(openSnapshot))
+}
+
+// parseGraphSpec builds the in-memory graph a mem: or sim: URL describes.
+// The opaque part names the generator; query parameters tune it.
+func parseGraphSpec(u *url.URL) (*Graph, error) {
+	kind := u.Opaque
+	if kind == "" {
+		kind = u.Path
+	}
+	q := u.Query()
+	switch kind {
+	case "barbell":
+		n := 50
+		if s := q.Get("n"); s != "" {
+			var err error
+			if n, err = strconv.Atoi(s); err != nil || n < 3 {
+				return nil, fmt.Errorf("rewire: %s: bad clique size n=%q", u.Scheme, s)
+			}
+		}
+		return Barbell(n), nil
+	case "social":
+		nodes, edges, seed := 1000, 4000, uint64(1)
+		if s := q.Get("nodes"); s != "" {
+			var err error
+			if nodes, err = strconv.Atoi(s); err != nil || nodes < 2 {
+				return nil, fmt.Errorf("rewire: %s: bad nodes=%q", u.Scheme, s)
+			}
+		}
+		if s := q.Get("edges"); s != "" {
+			var err error
+			if edges, err = strconv.Atoi(s); err != nil || edges < 1 {
+				return nil, fmt.Errorf("rewire: %s: bad edges=%q", u.Scheme, s)
+			}
+		}
+		if s := q.Get("seed"); s != "" {
+			var err error
+			if seed, err = strconv.ParseUint(s, 10, 64); err != nil {
+				return nil, fmt.Errorf("rewire: %s: bad seed=%q", u.Scheme, s)
+			}
+		}
+		return gen.Social(gen.SocialConfig{Nodes: nodes, TargetEdges: edges}, rng.New(seed))
+	case "preset":
+		name := q.Get("name")
+		if name == "" {
+			return nil, fmt.Errorf("rewire: %s:preset needs name=", u.Scheme)
+		}
+		full := false
+		if s := q.Get("full"); s != "" {
+			var err error
+			if full, err = strconv.ParseBool(s); err != nil {
+				return nil, fmt.Errorf("rewire: %s: bad full=%q", u.Scheme, s)
+			}
+		}
+		return PresetGraph(name, full)
+	default:
+		return nil, fmt.Errorf("rewire: %s: unknown graph spec %q (want barbell, social, or preset)", u.Scheme, kind)
+	}
+}
+
+// graphBackend serves an immutable in-memory graph through the driver
+// contract. Neighbor lists are zero-copy CSR views — safe to hand out
+// because the graph is immutable and lives as long as the backend, and the
+// Provider clones before anything caller-mutable escapes.
+type graphBackend struct{ g *Graph }
+
+func (b graphBackend) Fetch(ctx context.Context, ids []NodeID) ([][]NodeID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([][]NodeID, len(ids))
+	for i, v := range ids {
+		if v < 0 || int(v) >= b.g.NumNodes() {
+			return nil, fmt.Errorf("%w: id %d", ErrNoSuchUser, v)
+		}
+		out[i] = b.g.Neighbors(v)
+	}
+	return out, nil
+}
+
+func (b graphBackend) NumUsers() int { return b.g.NumNodes() }
+
+func openMem(ctx context.Context, u *url.URL) (Backend, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g, err := parseGraphSpec(u)
+	if err != nil {
+		return nil, err
+	}
+	return graphBackend{g: g}, nil
+}
+
+// simBackend serves a simulated restrictive provider (osn.Service) through
+// the driver contract and forwards its simulation telemetry, so a Provider
+// over it reports TotalQueries/SimulatedElapsed/RateLimitWaits exactly like
+// the Simulate compatibility constructor.
+type simBackend struct{ svc *osn.Service }
+
+func (b *simBackend) Fetch(ctx context.Context, ids []NodeID) ([][]NodeID, error) {
+	resps, err := b.svc.Fetch(ctx, ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]NodeID, len(resps))
+	for i, r := range resps {
+		out[i] = r.Neighbors
+	}
+	return out, nil
+}
+
+func (b *simBackend) NumUsers() int { return b.svc.NumUsers() }
+
+// parseLimits resolves the sim: quota parameters: limits= names a preset
+// (facebook, twitter, none — default none), and qpw, window, latency, real
+// override individual fields.
+func parseLimits(u *url.URL) (Limits, error) {
+	q := u.Query()
+	var lim Limits
+	switch name := q.Get("limits"); name {
+	case "", "none":
+	case "facebook":
+		lim = FacebookLimits()
+	case "twitter":
+		lim = TwitterLimits()
+	default:
+		return lim, fmt.Errorf("rewire: sim: unknown limits preset %q", name)
+	}
+	if s := q.Get("qpw"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return lim, fmt.Errorf("rewire: sim: bad qpw=%q", s)
+		}
+		lim.QueriesPerWindow = n
+	}
+	for _, f := range []struct {
+		key string
+		dst *time.Duration
+	}{
+		{"window", &lim.Window},
+		{"latency", &lim.PerQueryLatency},
+		{"real", &lim.RealLatency},
+	} {
+		if s := q.Get(f.key); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil || d < 0 {
+				return lim, fmt.Errorf("rewire: sim: bad %s=%q", f.key, s)
+			}
+			*f.dst = d
+		}
+	}
+	return lim, nil
+}
+
+func openSim(ctx context.Context, u *url.URL) (Backend, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g, err := parseGraphSpec(u)
+	if err != nil {
+		return nil, err
+	}
+	lim, err := parseLimits(u)
+	if err != nil {
+		return nil, err
+	}
+	return &simBackend{svc: osn.NewService(g, nil, osn.Config(lim))}, nil
+}
+
+// httpDriverParams are the query keys the http driver consumes; everything
+// else stays on the base URL and reaches the provider.
+var httpDriverParams = []string{"timeout", "retries", "backoff", "max_backoff", "batch"}
+
+// httpBackend adds the public RateLimited capability over the HTTP driver's
+// own feedback type.
+type httpBackend struct{ *httpsrc.Backend }
+
+func (h httpBackend) RateLimit() (RateLimitInfo, bool) {
+	st, ok := h.Backend.RateLimit()
+	return RateLimitInfo{Limit: st.Limit, Remaining: st.Remaining, Reset: st.Reset}, ok
+}
+
+func openHTTP(ctx context.Context, u *url.URL) (Backend, error) {
+	q := u.Query()
+	opt := httpsrc.Options{}
+	var err error
+	if s := q.Get("timeout"); s != "" {
+		if opt.RequestTimeout, err = time.ParseDuration(s); err != nil {
+			return nil, fmt.Errorf("rewire: http: bad timeout=%q", s)
+		}
+	}
+	if s := q.Get("retries"); s != "" {
+		if opt.MaxAttempts, err = strconv.Atoi(s); err != nil || opt.MaxAttempts < 1 {
+			return nil, fmt.Errorf("rewire: http: bad retries=%q", s)
+		}
+	}
+	if s := q.Get("backoff"); s != "" {
+		if opt.BaseBackoff, err = time.ParseDuration(s); err != nil {
+			return nil, fmt.Errorf("rewire: http: bad backoff=%q", s)
+		}
+	}
+	if s := q.Get("max_backoff"); s != "" {
+		if opt.MaxBackoff, err = time.ParseDuration(s); err != nil {
+			return nil, fmt.Errorf("rewire: http: bad max_backoff=%q", s)
+		}
+	}
+	if s := q.Get("batch"); s != "" {
+		if opt.BatchSize, err = strconv.Atoi(s); err != nil || opt.BatchSize < 1 {
+			return nil, fmt.Errorf("rewire: http: bad batch=%q", s)
+		}
+	}
+	base := *u
+	for _, k := range httpDriverParams {
+		q.Del(k)
+	}
+	base.RawQuery = q.Encode()
+	opt.BaseURL = base.String()
+	hb, err := httpsrc.New(opt)
+	if err != nil {
+		return nil, err
+	}
+	// Eager connectivity + metadata probe under the caller's ctx: an
+	// unreachable or non-protocol endpoint fails at Open, and the published
+	// user count is cached before the first walk asks for it.
+	if _, err := hb.Meta(ctx); err != nil {
+		return nil, fmt.Errorf("rewire: http: probing %s: %w", opt.BaseURL, err)
+	}
+	return httpBackend{hb}, nil
+}
+
+// snapshotBackend serves a read-only CSR snapshot through the driver
+// contract. Rows are cloned on fetch: cached neighbor lists must survive
+// Close unmapping the file.
+type snapshotBackend struct {
+	snap  *graph.Snapshot
+	extra func() error // additional closer (the readerat-mode file handle)
+}
+
+func (b *snapshotBackend) Fetch(ctx context.Context, ids []NodeID) ([][]NodeID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([][]NodeID, len(ids))
+	for i, v := range ids {
+		if v < 0 || int(v) >= b.snap.NumNodes() {
+			return nil, fmt.Errorf("%w: id %d", ErrNoSuchUser, v)
+		}
+		nbrs, err := b.snap.Neighbors(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = slices.Clone(nbrs)
+	}
+	return out, nil
+}
+
+func (b *snapshotBackend) NumUsers() int { return b.snap.NumNodes() }
+
+func (b *snapshotBackend) Close() error {
+	err := b.snap.Close()
+	if b.extra != nil {
+		if e := b.extra(); err == nil {
+			err = e
+		}
+		b.extra = nil
+	}
+	return err
+}
+
+func openSnapshot(ctx context.Context, u *url.URL) (Backend, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	path := u.Opaque
+	if path == "" {
+		path = u.Path
+	}
+	if path == "" {
+		return nil, fmt.Errorf("rewire: snapshot: empty path in %q", u.String())
+	}
+	if u.Query().Get("mode") == "readerat" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		snap, err := graph.OpenSnapshotReaderAt(f, st.Size())
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return &snapshotBackend{snap: snap, extra: f.Close}, nil
+	}
+	snap, err := graph.OpenSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	return &snapshotBackend{snap: snap}, nil
+}

@@ -31,4 +31,8 @@ var (
 	// ErrNoOverlay reports an overlay operation on a session whose algorithm
 	// does not rewire (anything but AlgMTO).
 	ErrNoOverlay = errors.New("rewire: session has no rewired overlay")
+
+	// ErrUnknownScheme reports an Open URL whose scheme has no registered
+	// driver (see Register and Drivers).
+	ErrUnknownScheme = errors.New("rewire: no driver registered for scheme")
 )

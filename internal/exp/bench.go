@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"time"
 
 	"rewire/internal/benchcmp"
@@ -12,8 +13,10 @@ import (
 // budgets, single samplers — so the unique-query counters are exact
 // functions of the seed and can be gated tightly; wall-clock enters only
 // through in-process speedup ratios, which transfer across machines because
-// the runs are latency-dominated (see internal/benchcmp).
-func BenchSuite(seed uint64) benchcmp.Suite {
+// the runs are latency-dominated (see internal/benchcmp). A non-nil error
+// means a workload could not run at all (e.g. the snapshot round-trip
+// failed) — the partial suite is still returned for diagnosis.
+func BenchSuite(seed uint64) (benchcmp.Suite, error) {
 	ds := SmallDatasets()[0]
 	cfg := QuickPrefetchExpConfig()
 	suite := benchcmp.Suite{Schema: benchcmp.Schema, Seed: seed}
@@ -63,7 +66,33 @@ func BenchSuite(seed uint64) benchcmp.Suite {
 		shardedRes.Speedup = float64(legacy.Wall) / float64(sharded.Wall)
 	}
 	suite.Results = append(suite.Results, shardedRes)
-	return suite
+
+	// Snapshot cold path: open a CSR snapshot and walk 10k steps through the
+	// full client stack. The unique-query counter is deterministic and gated;
+	// wall-clock (best of 3) is recorded so snapshot-load regressions are
+	// visible in the artifact even before they trip anything.
+	const snapSamples = 10_000
+	snap, err := RunSnapshotCold(ds, snapSamples, seed)
+	for i := 1; i < 3 && err == nil; i++ {
+		row, e := RunSnapshotCold(ds, snapSamples, seed)
+		if e != nil {
+			err = e
+			break
+		}
+		if row.Wall < snap.Wall {
+			snap = row
+		}
+	}
+	if err != nil {
+		return suite, fmt.Errorf("exp: SnapshotOpenCold workload failed: %w", err)
+	}
+	suite.Results = append(suite.Results, benchcmp.Result{
+		Name:    "SnapshotOpenCold",
+		WallNS:  snap.Wall.Nanoseconds(),
+		Samples: snapSamples,
+		Queries: snap.Unique,
+	})
+	return suite, nil
 }
 
 // bestOf runs f n times and keeps the row with the smallest wall-clock —

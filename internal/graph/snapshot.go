@@ -1,0 +1,311 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// Snapshot file format (version 1, little-endian throughout):
+//
+//	offset  size  field
+//	     0     8  magic "RWIRCSR1"
+//	     8     4  version (1)
+//	    12     4  byte-order mark 0x1A2B3C4D
+//	    16     8  numNodes
+//	    24     8  numEntries (directed adjacency entries, len(neigh))
+//	    32     8  numEdges (undirected)
+//	    40     4  IEEE CRC-32 of bytes [0, 40)
+//	    44     4  reserved (0)
+//	    48     4*(numNodes+1)   offsets, uint32
+//	     …     4*numEntries     neighbors, int32
+//
+// The layout is exactly the in-memory CSR of Graph, so a crawl snapshot opens
+// in O(1): the header and the two array bounds are all that must be read
+// before the first neighbor access. Both arrays start 4-byte aligned, which
+// is what lets the linux mmap path hand out zero-copy views.
+const (
+	snapshotMagic      = "RWIRCSR1"
+	snapshotVersion    = 1
+	snapshotBOM        = 0x1A2B3C4D
+	snapshotHeaderSize = 48
+)
+
+// ErrSnapshotFormat reports a snapshot that cannot be opened: truncated or
+// corrupt header, unknown version, foreign byte order, or array bounds that
+// disagree with the file size. Wrapped errors carry the specific reason.
+var ErrSnapshotFormat = errors.New("graph: invalid snapshot")
+
+// WriteSnapshot serializes the graph in the binary CSR snapshot format. The
+// write is streaming (constant memory beyond a small buffer), so graphs near
+// the int32 entry bound serialize without doubling their footprint.
+func (g *Graph) WriteSnapshot(w io.Writer) error {
+	var hdr [snapshotHeaderSize]byte
+	copy(hdr[0:8], snapshotMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], snapshotVersion)
+	binary.LittleEndian.PutUint32(hdr[12:16], snapshotBOM)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(g.NumNodes()))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(g.neigh)))
+	binary.LittleEndian.PutUint64(hdr[32:40], uint64(g.edges))
+	binary.LittleEndian.PutUint32(hdr[40:44], crc32.ChecksumIEEE(hdr[:40]))
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var scratch [4]byte
+	offsets := g.offsets
+	if len(offsets) == 0 {
+		offsets = []uint32{0} // an empty graph still writes offsets[0]
+	}
+	for _, o := range offsets {
+		binary.LittleEndian.PutUint32(scratch[:], o)
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return err
+		}
+	}
+	for _, v := range g.neigh {
+		binary.LittleEndian.PutUint32(scratch[:], uint32(v))
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSnapshotFile writes the graph's snapshot to path (0644, truncating).
+func (g *Graph) WriteSnapshotFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Snapshot is a read-only CSR graph opened from a snapshot file without
+// rebuilding: on linux the arrays are mmap'd views (zero-copy, demand-paged),
+// elsewhere — or via OpenSnapshotReaderAt — the offsets load eagerly and
+// neighbor rows are read per access through an io.ReaderAt. Either way the
+// open cost is independent of the edge count.
+//
+// A Snapshot is safe for concurrent use. Close releases the mapping (or the
+// underlying file); neighbor slices returned by the mmap path are views into
+// the mapping and die with it.
+type Snapshot struct {
+	nodes   int
+	edges   int
+	entries int
+
+	// mmap mode: both arrays are views into data.
+	offsets []uint32
+	neigh   []NodeID
+
+	// readerAt mode: offsets are a heap copy, rows are read through r at
+	// dataOff + 4*lo.
+	r       io.ReaderAt
+	dataOff int64
+
+	closer func() error
+}
+
+// snapshotHeader is the decoded, validated fixed-size header.
+type snapshotHeader struct {
+	nodes, entries, edges int
+}
+
+// snapshotTooShort is the shared "file shorter than the header" failure, so
+// the mmap and ReaderAt paths reject truncated files identically.
+func snapshotTooShort(size int64) error {
+	return fmt.Errorf("%w: %d-byte file shorter than the %d-byte header", ErrSnapshotFormat, size, snapshotHeaderSize)
+}
+
+// parseSnapshotHeader validates the fixed-size header against the total file
+// size and returns the decoded counts.
+func parseSnapshotHeader(hdr []byte, size int64) (snapshotHeader, error) {
+	var h snapshotHeader
+	if len(hdr) < snapshotHeaderSize {
+		return h, snapshotTooShort(int64(len(hdr)))
+	}
+	if string(hdr[0:8]) != snapshotMagic {
+		return h, fmt.Errorf("%w: bad magic %q", ErrSnapshotFormat, hdr[0:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != snapshotVersion {
+		return h, fmt.Errorf("%w: unsupported version %d", ErrSnapshotFormat, v)
+	}
+	if bom := binary.LittleEndian.Uint32(hdr[12:16]); bom != snapshotBOM {
+		return h, fmt.Errorf("%w: byte-order mark %#x (foreign endianness?)", ErrSnapshotFormat, bom)
+	}
+	if want, got := binary.LittleEndian.Uint32(hdr[40:44]), crc32.ChecksumIEEE(hdr[:40]); want != got {
+		return h, fmt.Errorf("%w: header checksum %#x, computed %#x", ErrSnapshotFormat, want, got)
+	}
+	nodes := binary.LittleEndian.Uint64(hdr[16:24])
+	entries := binary.LittleEndian.Uint64(hdr[24:32])
+	edges := binary.LittleEndian.Uint64(hdr[32:40])
+	if nodes > math.MaxInt32 || entries > math.MaxInt32 || edges > math.MaxInt32 {
+		return h, fmt.Errorf("%w: counts exceed the int32 ID space (nodes=%d entries=%d edges=%d)", ErrSnapshotFormat, nodes, entries, edges)
+	}
+	if edges*2 != entries {
+		return h, fmt.Errorf("%w: %d edges inconsistent with %d directed entries", ErrSnapshotFormat, edges, entries)
+	}
+	want := int64(snapshotHeaderSize) + 4*(int64(nodes)+1) + 4*int64(entries)
+	if size != want {
+		return h, fmt.Errorf("%w: file size %d, header implies %d", ErrSnapshotFormat, size, want)
+	}
+	h.nodes, h.entries, h.edges = int(nodes), int(entries), int(edges)
+	return h, nil
+}
+
+// OpenSnapshot opens a snapshot file. On linux (little-endian) the arrays
+// are mmap'd; elsewhere the file stays open as an io.ReaderAt and rows are
+// read on demand. Close the snapshot when done.
+func OpenSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if s, err := openSnapshotMmap(f, st.Size()); err == nil {
+		f.Close() // the mapping outlives the descriptor
+		return s, nil
+	} else if !errors.Is(err, errMmapUnsupported) {
+		f.Close()
+		return nil, err
+	}
+	s, err := OpenSnapshotReaderAt(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.closer = f.Close
+	return s, nil
+}
+
+// OpenSnapshotReaderAt opens a snapshot through any io.ReaderAt — the
+// portable path, and the one the corrupt-input fuzzing drives. The offsets
+// array is loaded eagerly (4·(n+1) bytes); neighbor rows are read per access.
+// The caller retains ownership of r (Close on the returned snapshot does not
+// close it).
+func OpenSnapshotReaderAt(r io.ReaderAt, size int64) (*Snapshot, error) {
+	var hdr [snapshotHeaderSize]byte
+	if size < snapshotHeaderSize {
+		return nil, snapshotTooShort(size)
+	}
+	if _, err := io.ReadFull(io.NewSectionReader(r, 0, snapshotHeaderSize), hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrSnapshotFormat, err)
+	}
+	h, err := parseSnapshotHeader(hdr[:], size)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, 4*(h.nodes+1))
+	if _, err := r.ReadAt(raw, snapshotHeaderSize); err != nil {
+		return nil, fmt.Errorf("%w: reading offsets: %v", ErrSnapshotFormat, err)
+	}
+	offsets := make([]uint32, h.nodes+1)
+	for i := range offsets {
+		offsets[i] = binary.LittleEndian.Uint32(raw[4*i:])
+	}
+	s := &Snapshot{
+		nodes:   h.nodes,
+		edges:   h.edges,
+		entries: h.entries,
+		offsets: offsets,
+		r:       r,
+		dataOff: snapshotHeaderSize + 4*(int64(h.nodes)+1),
+	}
+	if err := s.checkOffsets(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// checkOffsets validates the cheap global bounds: offsets[0] == 0 and
+// offsets[n] == numEntries. Per-row monotonicity is checked lazily on access
+// so open stays O(1) in the edge count (the offsets array itself loads or
+// maps in either mode).
+func (s *Snapshot) checkOffsets() error {
+	if len(s.offsets) == 0 || s.offsets[0] != 0 {
+		return fmt.Errorf("%w: offsets[0] != 0", ErrSnapshotFormat)
+	}
+	if got := s.offsets[s.nodes]; int(got) != s.entries {
+		return fmt.Errorf("%w: offsets[%d] = %d, want %d entries", ErrSnapshotFormat, s.nodes, got, s.entries)
+	}
+	return nil
+}
+
+// NumNodes returns the node count.
+func (s *Snapshot) NumNodes() int { return s.nodes }
+
+// NumEdges returns the undirected edge count.
+func (s *Snapshot) NumEdges() int { return s.edges }
+
+// Degree returns v's degree without touching the neighbor array, or an error
+// for ids outside the snapshot or rows with corrupt bounds.
+func (s *Snapshot) Degree(v NodeID) (int, error) {
+	lo, hi, err := s.row(v)
+	if err != nil {
+		return 0, err
+	}
+	return int(hi - lo), nil
+}
+
+// row resolves and validates v's CSR bounds.
+func (s *Snapshot) row(v NodeID) (lo, hi uint32, err error) {
+	if v < 0 || int(v) >= s.nodes {
+		return 0, 0, fmt.Errorf("graph: snapshot has no node %d", v)
+	}
+	lo, hi = s.offsets[v], s.offsets[v+1]
+	if lo > hi || int(hi) > s.entries {
+		return 0, 0, fmt.Errorf("%w: node %d row [%d, %d) outside %d entries", ErrSnapshotFormat, v, lo, hi, s.entries)
+	}
+	return lo, hi, nil
+}
+
+// Neighbors returns v's neighbor list. In mmap mode the slice is a zero-copy
+// view into the mapping (valid until Close, do not modify); in readerAt mode
+// it is freshly read and owned by the caller.
+func (s *Snapshot) Neighbors(v NodeID) ([]NodeID, error) {
+	lo, hi, err := s.row(v)
+	if err != nil {
+		return nil, err
+	}
+	if s.neigh != nil {
+		return s.neigh[lo:hi:hi], nil
+	}
+	raw := make([]byte, 4*(hi-lo))
+	if _, err := s.r.ReadAt(raw, s.dataOff+4*int64(lo)); err != nil {
+		return nil, fmt.Errorf("%w: reading node %d row: %v", ErrSnapshotFormat, v, err)
+	}
+	out := make([]NodeID, hi-lo)
+	for i := range out {
+		out[i] = NodeID(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}
+
+// Close releases the mapping or file handle. Neighbor views handed out by the
+// mmap path must not be used afterwards.
+func (s *Snapshot) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	c := s.closer
+	s.closer = nil
+	return c()
+}
+
+// errMmapUnsupported signals that the platform (or endianness) has no
+// zero-copy mapping path and the caller should fall back to io.ReaderAt.
+var errMmapUnsupported = errors.New("graph: snapshot mmap unsupported")

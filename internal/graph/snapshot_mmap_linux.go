@@ -1,0 +1,63 @@
+//go:build linux
+
+package graph
+
+import (
+	"encoding/binary"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// nativeLittleEndian reports whether uint32 views into raw bytes decode as
+// the snapshot format's little-endian — the precondition for handing out
+// zero-copy unsafe.Slice views instead of decoding per access.
+var nativeLittleEndian = func() bool {
+	x := uint32(snapshotBOM)
+	b := (*[4]byte)(unsafe.Pointer(&x))
+	return binary.LittleEndian.Uint32(b[:]) == snapshotBOM
+}()
+
+// openSnapshotMmap maps the whole file read-only and carves the offsets and
+// neighbor arrays as zero-copy views: open cost is one mmap syscall plus the
+// 48-byte header validation, independent of graph size — pages fault in as
+// the walk touches them. Returns errMmapUnsupported on big-endian hosts and
+// for empty files (mmap of length 0 is an error; the ReaderAt path handles
+// the degenerate header-only snapshot).
+func openSnapshotMmap(f *os.File, size int64) (*Snapshot, error) {
+	if !nativeLittleEndian || size <= 0 {
+		return nil, errMmapUnsupported
+	}
+	if size < snapshotHeaderSize {
+		// Too short to be a snapshot: report the format error directly so
+		// truncated files fail identically on every path.
+		return nil, snapshotTooShort(size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, errMmapUnsupported // unmappable fd (pipe, weird fs): fall back
+	}
+	h, err := parseSnapshotHeader(data[:snapshotHeaderSize], size)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, err
+	}
+	s := &Snapshot{
+		nodes:   h.nodes,
+		edges:   h.edges,
+		entries: h.entries,
+		closer:  func() error { return syscall.Munmap(data) },
+	}
+	s.offsets = unsafe.Slice((*uint32)(unsafe.Pointer(&data[snapshotHeaderSize])), h.nodes+1)
+	if h.entries > 0 {
+		neighOff := snapshotHeaderSize + 4*(h.nodes+1)
+		s.neigh = unsafe.Slice((*NodeID)(unsafe.Pointer(&data[neighOff])), h.entries)
+	} else {
+		s.neigh = []NodeID{}
+	}
+	if err := s.checkOffsets(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}

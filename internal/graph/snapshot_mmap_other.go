@@ -1,0 +1,11 @@
+//go:build !linux
+
+package graph
+
+import "os"
+
+// openSnapshotMmap has no portable implementation: OpenSnapshot falls back to
+// the io.ReaderAt path on non-linux platforms.
+func openSnapshotMmap(*os.File, int64) (*Snapshot, error) {
+	return nil, errMmapUnsupported
+}

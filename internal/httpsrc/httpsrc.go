@@ -1,0 +1,456 @@
+// Package httpsrc is the live-provider driver: a Backend that speaks a small
+// JSON neighbor-list protocol over HTTP — the paper's restrictive third-party
+// web interface made literal. It handles what real rate-limited endpoints
+// throw at a crawler: X-RateLimit-* feedback, 429 with Retry-After, transient
+// 5xx, and slow responses, with bounded-jitter exponential backoff and a
+// per-attempt context deadline. The package also ships the reference server
+// (Handler) the conformance and driver tests run against.
+//
+// Protocol (all responses JSON):
+//
+//	GET {base}/neighbors?ids=1,2,3
+//	  200 {"results":[{"id":1,"neighbors":[2,3]}, ...]}   (request order)
+//	  404 {"error":"no such user","id":9}                 (whole batch fails)
+//	  429 + Retry-After: <seconds>                        (quota exhausted)
+//	GET {base}/meta
+//	  200 {"num_users":12345}
+//
+// Every response may carry X-RateLimit-Limit / X-RateLimit-Remaining /
+// X-RateLimit-Reset (unix seconds); the backend records the latest values
+// for rate-limit feedback.
+package httpsrc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rewire/internal/graph"
+	"rewire/internal/osn"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultMaxAttempts    = 4
+	DefaultBaseBackoff    = 100 * time.Millisecond
+	DefaultMaxBackoff     = 5 * time.Second
+	DefaultRequestTimeout = 10 * time.Second
+	DefaultBatchSize      = 64
+)
+
+// maxResponseBytes caps how much of a response body is read — a misbehaving
+// server must not balloon the crawler's memory.
+const maxResponseBytes = 32 << 20
+
+// Options configures an HTTP backend. The zero value of every field selects
+// its default; only BaseURL is required.
+type Options struct {
+	// BaseURL is the provider root, e.g. "http://host:8080/graph". The
+	// protocol paths (/neighbors, /meta) are appended to it.
+	BaseURL string
+	// Client is the http.Client to use (default: a fresh client, so closing
+	// idle connections never touches a shared transport).
+	Client *http.Client
+	// MaxAttempts bounds tries per batch, first attempt included.
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff bound the exponential backoff between
+	// retries. The delay before retry n is min(MaxBackoff, BaseBackoff·2ⁿ⁻¹)
+	// with bounded jitter in [delay/2, delay), and a server Retry-After
+	// overrides the computed delay when longer — up to MaxBackoff. A
+	// Retry-After beyond MaxBackoff (a 429 on an hour-long quota window) is
+	// not slept out: the StatusError is returned, RetryAfter included, for
+	// the caller to schedule around.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RequestTimeout is the per-attempt deadline, layered under the caller's
+	// context: one slow attempt fails fast and retries instead of eating the
+	// whole walk deadline.
+	RequestTimeout time.Duration
+	// BatchSize caps ids per GET; larger Fetch batches are chunked.
+	BatchSize int
+}
+
+func (o *Options) withDefaults() {
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = DefaultBaseBackoff
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = DefaultMaxBackoff
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = DefaultRequestTimeout
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+}
+
+// StatusError reports a non-2xx provider response.
+type StatusError struct {
+	Code int
+	// RetryAfter is the parsed Retry-After duration (0 when absent).
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("httpsrc: provider returned %d %s", e.Code, http.StatusText(e.Code))
+}
+
+// Temporary reports whether retrying can help: quota exhaustion and server
+// errors are transient, other 4xx are not.
+func (e *StatusError) Temporary() bool { return e.Code == http.StatusTooManyRequests || e.Code >= 500 }
+
+// ProtocolError reports a response that is not valid protocol JSON (or that
+// answers a different question than asked). It is permanent: retrying a
+// server that speaks garbage is not a recovery strategy.
+type ProtocolError struct{ msg string }
+
+func (e *ProtocolError) Error() string { return "httpsrc: " + e.msg }
+
+// RateLimitState is the latest provider-published quota feedback.
+type RateLimitState struct {
+	// Limit and Remaining mirror X-RateLimit-Limit / X-RateLimit-Remaining.
+	Limit, Remaining int
+	// Reset is when the window replenishes (X-RateLimit-Reset, unix seconds).
+	Reset time.Time
+}
+
+// Backend fetches neighbor lists from an HTTP provider. It implements the
+// osn Backend contract and is safe for concurrent use — the walker fleet and
+// the prefetch pool share one Backend, and the underlying http.Client pools
+// connections across them.
+type Backend struct {
+	base *url.URL
+	opt  Options
+
+	mu    sync.Mutex
+	rl    RateLimitState
+	rlSet bool
+	users int // cached /meta answer; 0 = not yet known
+}
+
+// New builds a backend for the provider at o.BaseURL. No request is made —
+// use Meta to validate connectivity eagerly.
+func New(o Options) (*Backend, error) {
+	o.withDefaults()
+	u, err := url.Parse(o.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("httpsrc: bad base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("httpsrc: base URL scheme %q is not http(s)", u.Scheme)
+	}
+	return &Backend{base: u, opt: o}, nil
+}
+
+// endpoint builds {base}/{leaf}?{query}, preserving any query the base URL
+// already carries.
+func (b *Backend) endpoint(leaf string, extra url.Values) string {
+	u := *b.base
+	u.Path = strings.TrimRight(u.Path, "/") + "/" + leaf
+	q := u.Query()
+	for k, vs := range extra {
+		for _, v := range vs {
+			q.Set(k, v)
+		}
+	}
+	u.RawQuery = q.Encode()
+	return u.String()
+}
+
+// Fetch resolves the ids' neighbor lists (one per id, input order), chunking
+// into BatchSize-id requests and retrying transient failures with
+// bounded-jitter exponential backoff. Any id outside the provider's user
+// space fails the batch with an error matching osn.ErrNoSuchUser.
+func (b *Backend) Fetch(ctx context.Context, ids []graph.NodeID) ([][]graph.NodeID, error) {
+	out := make([][]graph.NodeID, 0, len(ids))
+	for len(ids) > 0 {
+		n := min(len(ids), b.opt.BatchSize)
+		lists, err := b.fetchChunk(ctx, ids[:n])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lists...)
+		ids = ids[n:]
+	}
+	return out, nil
+}
+
+// fetchChunk is one protocol request with the retry loop around it.
+func (b *Backend) fetchChunk(ctx context.Context, ids []graph.NodeID) ([][]graph.NodeID, error) {
+	var lastErr error
+	var retryAfter time.Duration
+	for attempt := 1; attempt <= b.opt.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := b.sleepBackoff(ctx, attempt-1, retryAfter); err != nil {
+				return nil, err
+			}
+		}
+		lists, err := b.doNeighbors(ctx, ids)
+		if err == nil {
+			return lists, nil
+		}
+		if ctx.Err() != nil {
+			// The caller's context ended (their cancellation or deadline, not
+			// the per-attempt timeout): report it, not the transport noise.
+			return nil, ctx.Err()
+		}
+		if !temporary(err) {
+			return nil, err
+		}
+		lastErr = err
+		retryAfter = 0
+		var se *StatusError
+		if errors.As(err, &se) {
+			retryAfter = se.RetryAfter
+			if retryAfter > b.opt.MaxBackoff {
+				// The provider wants a wait longer than this client is
+				// configured to block (a 429 on an hour-long quota window,
+				// say). Sleeping it out here would wedge the walk — surface
+				// the StatusError, RetryAfter included, and let the caller
+				// decide (budget the crawl, WithRateLimit, resume later).
+				return nil, err
+			}
+		}
+	}
+	return nil, fmt.Errorf("httpsrc: %d attempts exhausted: %w", b.opt.MaxAttempts, lastErr)
+}
+
+// temporary reports whether err is worth a retry.
+func temporary(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Temporary()
+	}
+	var pe *ProtocolError
+	if errors.As(err, &pe) || errors.Is(err, osn.ErrNoSuchUser) {
+		return false
+	}
+	// Transport-level failures (connection refused/reset, the per-attempt
+	// timeout) are transient by default.
+	return true
+}
+
+// sleepBackoff waits out the bounded-jitter exponential delay before retry n
+// (1-based), or the server's Retry-After when that is longer. Cancellation
+// interrupts the wait immediately.
+func (b *Backend) sleepBackoff(ctx context.Context, n int, retryAfter time.Duration) error {
+	d := b.opt.BaseBackoff << (n - 1)
+	if d > b.opt.MaxBackoff || d <= 0 {
+		d = b.opt.MaxBackoff
+	}
+	// Bounded jitter: uniform in [d/2, d). Decorrelates a fleet of crawlers
+	// without ever waiting less than half the intended delay.
+	d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// neighborsResponse is the wire shape of a /neighbors answer.
+type neighborsResponse struct {
+	Results []struct {
+		ID        graph.NodeID   `json:"id"`
+		Neighbors []graph.NodeID `json:"neighbors"`
+	} `json:"results"`
+}
+
+// errorResponse is the wire shape of a protocol error body.
+type errorResponse struct {
+	Error string       `json:"error"`
+	ID    graph.NodeID `json:"id"`
+}
+
+// doNeighbors performs one /neighbors attempt under the per-attempt deadline.
+func (b *Backend) doNeighbors(ctx context.Context, ids []graph.NodeID) ([][]graph.NodeID, error) {
+	strs := make([]string, len(ids))
+	for i, v := range ids {
+		strs[i] = strconv.FormatInt(int64(v), 10)
+	}
+	body, err := b.get(ctx, b.endpoint("neighbors", url.Values{"ids": {strings.Join(strs, ",")}}), true)
+	if err != nil {
+		return nil, err
+	}
+	var nr neighborsResponse
+	if err := json.Unmarshal(body, &nr); err != nil {
+		return nil, &ProtocolError{msg: fmt.Sprintf("malformed neighbors JSON: %v", err)}
+	}
+	if len(nr.Results) != len(ids) {
+		return nil, &ProtocolError{msg: fmt.Sprintf("asked for %d ids, got %d results", len(ids), len(nr.Results))}
+	}
+	out := make([][]graph.NodeID, len(ids))
+	for i, res := range nr.Results {
+		if res.ID != ids[i] {
+			return nil, &ProtocolError{msg: fmt.Sprintf("result %d answers id %d, want %d", i, res.ID, ids[i])}
+		}
+		out[i] = res.Neighbors
+	}
+	return out, nil
+}
+
+// Meta fetches the provider-published user count (with the same retry
+// policy) and caches it for NumUsers.
+func (b *Backend) Meta(ctx context.Context) (int, error) {
+	var n int
+	var lastErr error
+	for attempt := 1; attempt <= b.opt.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			var retryAfter time.Duration
+			var se *StatusError
+			if errors.As(lastErr, &se) {
+				retryAfter = se.RetryAfter
+				if retryAfter > b.opt.MaxBackoff {
+					return 0, lastErr // see fetchChunk: never out-sleep MaxBackoff
+				}
+			}
+			if err := b.sleepBackoff(ctx, attempt-1, retryAfter); err != nil {
+				return 0, err
+			}
+		}
+		body, err := b.get(ctx, b.endpoint("meta", nil), false)
+		if err == nil {
+			var meta struct {
+				NumUsers int `json:"num_users"`
+			}
+			if err := json.Unmarshal(body, &meta); err != nil {
+				return 0, &ProtocolError{msg: fmt.Sprintf("malformed meta JSON: %v", err)}
+			}
+			n = meta.NumUsers
+			b.mu.Lock()
+			b.users = n
+			b.mu.Unlock()
+			return n, nil
+		}
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		if !temporary(err) {
+			return 0, err
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("httpsrc: %d attempts exhausted: %w", b.opt.MaxAttempts, lastErr)
+}
+
+// NumUsers returns the cached /meta user count, fetching it once on first
+// use (0 when the provider is unreachable — open the backend with Meta to
+// surface that as an error instead).
+func (b *Backend) NumUsers() int {
+	b.mu.Lock()
+	n := b.users
+	b.mu.Unlock()
+	if n > 0 {
+		return n
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), b.opt.RequestTimeout)
+	defer cancel()
+	n, _ = b.Meta(ctx)
+	return n
+}
+
+// RateLimit returns the latest provider-published quota feedback; ok is
+// false until a response has carried X-RateLimit headers.
+func (b *Backend) RateLimit() (RateLimitState, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rl, b.rlSet
+}
+
+// Close releases idle connections held by the backend's transport.
+func (b *Backend) Close() error {
+	b.opt.Client.CloseIdleConnections()
+	return nil
+}
+
+// get performs one GET under the per-attempt deadline and maps the status
+// code onto the error taxonomy. A 2xx returns the (bounded) body. Only the
+// /neighbors endpoint defines 404 as "no such user" (idLookup); anywhere
+// else — a mistyped base URL 404ing on /meta, say — a 404 stays a plain
+// StatusError so configuration mistakes are not disguised as missing users.
+func (b *Backend) get(ctx context.Context, rawURL string, idLookup bool) ([]byte, error) {
+	actx, cancel := context.WithTimeout(ctx, b.opt.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, rawURL, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := b.opt.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxResponseBytes))
+		resp.Body.Close()
+	}()
+	b.noteRateHeaders(resp.Header)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	case resp.StatusCode == http.StatusNotFound && idLookup:
+		var er errorResponse
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			return nil, fmt.Errorf("%w: id %d", osn.ErrNoSuchUser, er.ID)
+		}
+		return nil, fmt.Errorf("%w: %s", osn.ErrNoSuchUser, rawURL)
+	default:
+		return nil, &StatusError{Code: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
+	}
+}
+
+// noteRateHeaders records X-RateLimit feedback when present.
+func (b *Backend) noteRateHeaders(h http.Header) {
+	rem := h.Get("X-RateLimit-Remaining")
+	if rem == "" {
+		return
+	}
+	var rl RateLimitState
+	rl.Remaining, _ = strconv.Atoi(rem)
+	rl.Limit, _ = strconv.Atoi(h.Get("X-RateLimit-Limit"))
+	if sec, err := strconv.ParseInt(h.Get("X-RateLimit-Reset"), 10, 64); err == nil && sec > 0 {
+		rl.Reset = time.Unix(sec, 0)
+	}
+	b.mu.Lock()
+	b.rl, b.rlSet = rl, true
+	b.mu.Unlock()
+}
+
+// parseRetryAfter handles both forms of the header: delay-seconds and
+// HTTP-date.
+func parseRetryAfter(s string) time.Duration {
+	if s == "" {
+		return 0
+	}
+	if sec, err := strconv.Atoi(s); err == nil && sec >= 0 {
+		return time.Duration(sec) * time.Second
+	}
+	if t, err := http.ParseTime(s); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}

@@ -1,0 +1,373 @@
+package httpsrc
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rewire/internal/graph"
+	"rewire/internal/osn"
+	"rewire/internal/rng"
+	"rewire/internal/walk"
+)
+
+// testGraph is a small connected graph.
+func testGraph() *graph.Graph {
+	b := graph.NewBuilder(10)
+	for i := int32(0); i < 10; i++ {
+		b.AddEdge(i, (i+1)%10)
+		b.AddEdge(i, (i+3)%10)
+	}
+	return b.Build()
+}
+
+// fastOptions keeps retry delays test-sized.
+func fastOptions(baseURL string) Options {
+	return Options{
+		BaseURL:        baseURL,
+		MaxAttempts:    4,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     5 * time.Millisecond,
+		RequestTimeout: 2 * time.Second,
+	}
+}
+
+func mustFetch(t *testing.T, b *Backend, ids ...graph.NodeID) [][]graph.NodeID {
+	t.Helper()
+	lists, err := b.Fetch(context.Background(), ids)
+	if err != nil {
+		t.Fatalf("Fetch(%v): %v", ids, err)
+	}
+	if len(lists) != len(ids) {
+		t.Fatalf("Fetch(%v) returned %d lists", ids, len(lists))
+	}
+	return lists
+}
+
+func TestFetchAgainstReferenceServer(t *testing.T) {
+	g := testGraph()
+	srv := httptest.NewServer(Handler(g, ServerOptions{}))
+	defer srv.Close()
+	b, err := New(fastOptions(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	lists := mustFetch(t, b, 0, 5, 9)
+	for i, want := range []graph.NodeID{0, 5, 9} {
+		exp := g.Neighbors(want)
+		if len(lists[i]) != len(exp) {
+			t.Fatalf("user %d: %d neighbors, want %d", want, len(lists[i]), len(exp))
+		}
+		for j := range exp {
+			if lists[i][j] != exp[j] {
+				t.Fatalf("user %d neighbor %d = %d, want %d", want, j, lists[i][j], exp[j])
+			}
+		}
+	}
+	if n, err := b.Meta(context.Background()); err != nil || n != g.NumNodes() {
+		t.Fatalf("Meta = %d, %v; want %d", n, err, g.NumNodes())
+	}
+	if n := b.NumUsers(); n != g.NumNodes() {
+		t.Fatalf("NumUsers = %d, want %d", n, g.NumNodes())
+	}
+	if _, err := b.Fetch(context.Background(), []graph.NodeID{3, 42}); !errors.Is(err, osn.ErrNoSuchUser) {
+		t.Fatalf("unknown id error = %v, want ErrNoSuchUser", err)
+	}
+	if _, err := b.Fetch(context.Background(), []graph.NodeID{-1}); !errors.Is(err, osn.ErrNoSuchUser) {
+		t.Fatalf("negative id error = %v, want ErrNoSuchUser", err)
+	}
+}
+
+func TestFetchChunksLargeBatches(t *testing.T) {
+	g := testGraph()
+	var calls atomic.Int64
+	inner := Handler(g, ServerOptions{MaxIDsPerRequest: 3})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	o := fastOptions(srv.URL)
+	o.BatchSize = 3
+	b, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists := mustFetch(t, b, 0, 1, 2, 3, 4, 5, 6)
+	for i, nbrs := range lists {
+		if len(nbrs) != g.Degree(graph.NodeID(i)) {
+			t.Fatalf("user %d: %d neighbors, want %d", i, len(nbrs), g.Degree(graph.NodeID(i)))
+		}
+	}
+	if c := calls.Load(); c != 3 { // ceil(7/3)
+		t.Fatalf("server saw %d calls, want 3", c)
+	}
+}
+
+func TestRetryAfter429(t *testing.T) {
+	g := testGraph()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("X-RateLimit-Limit", "2")
+			w.Header().Set("X-RateLimit-Remaining", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		Handler(g, ServerOptions{}).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	b, err := New(fastOptions(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists := mustFetch(t, b, 4)
+	if len(lists[0]) != g.Degree(4) {
+		t.Fatalf("user 4: %d neighbors, want %d", len(lists[0]), g.Degree(4))
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two 429s then success)", calls.Load())
+	}
+	rl, ok := b.RateLimit()
+	if !ok || rl.Limit != 2 || rl.Remaining != 0 {
+		t.Fatalf("RateLimit = %+v, %v; want limit 2 remaining 0", rl, ok)
+	}
+}
+
+func TestRateLimitedServerEmits429(t *testing.T) {
+	g := testGraph()
+	srv := httptest.NewServer(Handler(g, ServerOptions{QueriesPerWindow: 1, Window: time.Hour}))
+	defer srv.Close()
+	o := fastOptions(srv.URL)
+	o.MaxAttempts = 2
+	b, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustFetch(t, b, 0) // spends the window's only slot
+	_, err = b.Fetch(context.Background(), []graph.NodeID{1})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want 429 StatusError", err)
+	}
+	if se.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", se.RetryAfter)
+	}
+}
+
+func TestRetry5xxThenSucceed(t *testing.T) {
+	g := testGraph()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "transient", http.StatusBadGateway)
+			return
+		}
+		Handler(g, ServerOptions{}).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	b, err := New(fastOptions(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustFetch(t, b, 7)
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+}
+
+func TestPermanent4xxDoesNotRetry(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "nope", http.StatusForbidden)
+	}))
+	defer srv.Close()
+	b, err := New(fastOptions(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.Fetch(context.Background(), []graph.NodeID{0})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusForbidden {
+		t.Fatalf("err = %v, want 403 StatusError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want exactly 1 (no retry on 403)", calls.Load())
+	}
+}
+
+func TestMalformedJSONIsPermanent(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Write([]byte(`{"results": [{"id": 0, "neighbors": [1,`)) // truncated
+	}))
+	defer srv.Close()
+	b, err := New(fastOptions(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.Fetch(context.Background(), []graph.NodeID{0})
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want ProtocolError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1 (garbage is not retried)", calls.Load())
+	}
+}
+
+func TestWrongAnswerIsProtocolError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"results": [{"id": 3, "neighbors": [1]}]}`)) // asked for 0
+	}))
+	defer srv.Close()
+	b, err := New(fastOptions(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.Fetch(context.Background(), []graph.NodeID{0})
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want ProtocolError", err)
+	}
+}
+
+// TestMeta404IsNotNoSuchUser pins that a 404 outside /neighbors — a
+// mistyped base path, a server without /meta — reports a status error, not
+// a bogus "no such user".
+func TestMeta404IsNotNoSuchUser(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	o := fastOptions(srv.URL + "/wrongpath")
+	o.MaxAttempts = 1
+	b, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.Meta(context.Background())
+	if errors.Is(err, osn.ErrNoSuchUser) {
+		t.Fatalf("meta 404 reported as ErrNoSuchUser: %v", err)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("err = %v, want 404 StatusError", err)
+	}
+}
+
+func TestCancellationMidBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests) // no Retry-After: backoff applies
+	}))
+	defer srv.Close()
+	o := fastOptions(srv.URL)
+	o.BaseBackoff = 10 * time.Second // park the retry loop in a long sleep
+	o.MaxBackoff = 30 * time.Second
+	b, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Fetch(ctx, []graph.NodeID{0})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it land in the backoff sleep
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Fetch did not return promptly after cancellation mid-backoff")
+	}
+}
+
+func TestPerAttemptTimeoutRetries(t *testing.T) {
+	g := testGraph()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			select { // hang well past the per-attempt deadline
+			case <-time.After(5 * time.Second):
+			case <-r.Context().Done():
+			}
+			return
+		}
+		Handler(g, ServerOptions{}).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	o := fastOptions(srv.URL)
+	o.RequestTimeout = 50 * time.Millisecond
+	b, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustFetch(t, b, 2)
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2 (timeout then success)", calls.Load())
+	}
+}
+
+// osnAdapter lifts the driver-shaped Fetch onto the internal client contract
+// (the public SDK does the same through its Backend adapter).
+type osnAdapter struct{ b *Backend }
+
+func (a osnAdapter) Fetch(ctx context.Context, ids []graph.NodeID) ([]osn.Response, error) {
+	lists, err := a.b.Fetch(ctx, ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]osn.Response, len(ids))
+	for i, v := range ids {
+		out[i] = osn.Response{User: v, Neighbors: lists[i]}
+	}
+	return out, nil
+}
+
+// TestConcurrentWalkersOverHTTP is the -race hammer: a fleet of SRW walkers
+// sharing one osn.Client over the HTTP backend, so the full stack — sharded
+// cache, per-user singleflight, demand billing, HTTP connection pool — runs
+// under contention. The unique-query bill must equal the client's cache size
+// and every walker must finish its quota.
+func TestConcurrentWalkersOverHTTP(t *testing.T) {
+	g := testGraph()
+	srv := httptest.NewServer(Handler(g, ServerOptions{Latency: 200 * time.Microsecond}))
+	defer srv.Close()
+	b, err := New(fastOptions(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := osn.NewClient(osnAdapter{b})
+	const k, steps = 8, 200
+	r := rng.New(7)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		w := walk.NewSimple(client, graph.NodeID(i), r.Split())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := 0; s < steps; s++ {
+				w.Step()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := client.UniqueQueries(), int64(client.CacheSize()); got != want {
+		t.Fatalf("unique queries %d != cache size %d (no prefetching ran)", got, want)
+	}
+	if client.UniqueQueries() > int64(g.NumNodes()) {
+		t.Fatalf("billed %d unique queries over a %d-user graph", client.UniqueQueries(), g.NumNodes())
+	}
+}

@@ -1,0 +1,149 @@
+package httpsrc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rewire/internal/graph"
+)
+
+// ServerOptions configures the reference provider server.
+type ServerOptions struct {
+	// QueriesPerWindow caps /neighbors requests per Window (0 disables rate
+	// limiting). One request counts once regardless of how many ids it
+	// carries — mirroring providers that meter calls, not entities.
+	QueriesPerWindow int
+	// Window is the rate-limit window length.
+	Window time.Duration
+	// Latency, when positive, sleeps that long before answering — a knob for
+	// exercising timeout and cancellation paths.
+	Latency time.Duration
+	// MaxIDsPerRequest rejects oversized batches with 400 (0 = unlimited).
+	MaxIDsPerRequest int
+}
+
+// server serves the neighbor-list protocol over an in-memory graph.
+type server struct {
+	g   *graph.Graph
+	opt ServerOptions
+
+	mu          sync.Mutex
+	windowStart time.Time
+	used        int
+}
+
+// Handler returns an http.Handler serving the protocol over g: the reference
+// implementation of the provider side, used by the driver tests and the
+// conformance suite, and a ready-made way to put any local graph behind a
+// real socket.
+func Handler(g *graph.Graph, opt ServerOptions) http.Handler {
+	s := &server{g: g, opt: opt}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /neighbors", s.neighbors)
+	mux.HandleFunc("GET /meta", s.meta)
+	return mux
+}
+
+// admit applies the rate limit, returning the Retry-After delay when the
+// window's quota is spent.
+func (s *server) admit(now time.Time) (time.Duration, bool) {
+	if s.opt.QueriesPerWindow <= 0 {
+		return 0, true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.windowStart.IsZero() || now.Sub(s.windowStart) >= s.opt.Window {
+		s.windowStart = now
+		s.used = 0
+	}
+	if s.used >= s.opt.QueriesPerWindow {
+		return s.windowStart.Add(s.opt.Window).Sub(now), false
+	}
+	s.used++
+	return 0, true
+}
+
+// rateHeaders publishes the provider's quota state on every response.
+func (s *server) rateHeaders(w http.ResponseWriter, now time.Time) {
+	if s.opt.QueriesPerWindow <= 0 {
+		return
+	}
+	s.mu.Lock()
+	remaining := s.opt.QueriesPerWindow - s.used
+	reset := s.windowStart.Add(s.opt.Window)
+	s.mu.Unlock()
+	if remaining < 0 {
+		remaining = 0
+	}
+	w.Header().Set("X-RateLimit-Limit", strconv.Itoa(s.opt.QueriesPerWindow))
+	w.Header().Set("X-RateLimit-Remaining", strconv.Itoa(remaining))
+	if !reset.Before(now) {
+		w.Header().Set("X-RateLimit-Reset", strconv.FormatInt(reset.Unix(), 10))
+	}
+}
+
+func (s *server) neighbors(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	if wait, ok := s.admit(now); !ok {
+		s.rateHeaders(w, now)
+		secs := int(wait/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintf(w, `{"error":"rate limited"}`)
+		return
+	}
+	s.rateHeaders(w, now)
+	if s.opt.Latency > 0 {
+		select {
+		case <-time.After(s.opt.Latency):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	raw := r.URL.Query().Get("ids")
+	if raw == "" {
+		http.Error(w, `{"error":"missing ids"}`, http.StatusBadRequest)
+		return
+	}
+	parts := strings.Split(raw, ",")
+	if s.opt.MaxIDsPerRequest > 0 && len(parts) > s.opt.MaxIDsPerRequest {
+		http.Error(w, `{"error":"too many ids"}`, http.StatusBadRequest)
+		return
+	}
+	var nr neighborsResponse
+	for _, p := range parts {
+		id, err := strconv.ParseInt(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":"bad id %q"}`, p), http.StatusBadRequest)
+			return
+		}
+		v := graph.NodeID(id)
+		if v < 0 || int(v) >= s.g.NumNodes() {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(errorResponse{Error: "no such user", ID: v})
+			return
+		}
+		nbrs := s.g.Neighbors(v)
+		if nbrs == nil {
+			nbrs = []graph.NodeID{}
+		}
+		nr.Results = append(nr.Results, struct {
+			ID        graph.NodeID   `json:"id"`
+			Neighbors []graph.NodeID `json:"neighbors"`
+		}{ID: v, Neighbors: nbrs})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(nr)
+}
+
+func (s *server) meta(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	s.rateHeaders(w, now)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"num_users":%d}`, s.g.NumNodes())
+}

@@ -1,0 +1,58 @@
+package osn
+
+import (
+	"context"
+
+	"rewire/internal/graph"
+)
+
+// Backend is the minimal driver contract the Client wraps: one batch-capable,
+// context-first fetch. Everything the client layers on top — the sharded
+// response cache, per-user singleflight, demand billing, budgets, the
+// speculative prefetch pool — is backend-agnostic, so the same machinery
+// serves a simulated provider (Service), a live HTTP endpoint, a read-only
+// CSR snapshot, or anything a third party registers.
+//
+// Contract:
+//
+//   - Fetch returns exactly one Response per requested id, in input order, or
+//     a non-nil error for the batch as a whole. Partial results are not
+//     returned: a failed batch is all-failed (the client issues single-id
+//     fetches on its demand path, so per-id granularity is preserved there).
+//   - An id outside the backend's user space fails with an error matching
+//     ErrNoSuchUser (errors.Is).
+//   - Fetch honors ctx: cancellation or deadline expiry aborts the in-flight
+//     round-trip and returns the context's error.
+//   - Returned neighbor slices are owned by the caller; the backend must not
+//     retain or mutate them after returning (the client caches them forever).
+//   - Fetch must be safe for concurrent use: the client overlaps misses for
+//     different users, and the prefetch pool fetches speculatively alongside.
+type Backend interface {
+	Fetch(ctx context.Context, ids []graph.NodeID) ([]Response, error)
+}
+
+// UserCounter is the optional backend capability of publishing the total user
+// count (the figure Random Jump needs for its ID space; the paper notes real
+// providers publish it for advertising purposes). Backends without it report
+// 0 through Client.NumUsers, and sessions over them must pin explicit starts.
+type UserCounter interface {
+	NumUsers() int
+}
+
+// Hinter is the optional backend capability of accepting advisory prefetch
+// hints: ids the sampler expects to demand soon. The client forwards every
+// hint its speculative pool accepts, so a backend can warm whatever is cheap
+// on its side (an HTTP driver could pipeline, a snapshot could fault pages
+// in). Hint must not block and must be safe for concurrent use; it carries no
+// obligation whatsoever.
+type Hinter interface {
+	Hint(ids []graph.NodeID)
+}
+
+// backendUsers resolves the optional UserCounter capability (0 when absent).
+func backendUsers(be Backend) int {
+	if uc, ok := be.(UserCounter); ok {
+		return uc.NumUsers()
+	}
+	return 0
+}

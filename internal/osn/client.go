@@ -2,6 +2,7 @@ package osn
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"rewire/internal/graph"
@@ -75,13 +76,18 @@ func (l *ledger) overBudgetLocked() bool {
 	return l.budget > 0 && l.unique+l.reserved >= l.budget
 }
 
-// Client is the third-party sampler's view of the service. It implements the
-// paper's query-cost accounting (§II-B): "we consider the number of unique
-// queries one has to issue for the sampling process, as any duplicate query
-// can be answered from local cache without consuming the query limit".
-// Every response is cached forever (the paper's Redis/Mongo local store),
-// and cached degree knowledge powers the Theorem 5 extended removal
-// criterion.
+// Client is the third-party sampler's view of a network backend. It
+// implements the paper's query-cost accounting (§II-B): "we consider the
+// number of unique queries one has to issue for the sampling process, as any
+// duplicate query can be answered from local cache without consuming the
+// query limit". Every response is cached forever (the paper's Redis/Mongo
+// local store), and cached degree knowledge powers the Theorem 5 extended
+// removal criterion.
+//
+// The client is generic over the Backend contract: the simulated Service is
+// merely the built-in backend, and a live HTTP provider or a read-only CSR
+// snapshot gets the exact same cache, singleflight, billing, budget, and
+// prefetch machinery.
 //
 // Client is safe for concurrent use, and its local store is sharded
 // (internal/store): per-user state lives in a power-of-two-sharded map with
@@ -100,9 +106,12 @@ func (l *ledger) overBudgetLocked() bool {
 // demand Query that lands on an in-flight or completed speculative fetch
 // consumes it at exactly one unique query — never zero, never two.
 type Client struct {
-	svc   *Service
-	state *store.Map[graph.NodeID, nodeState]
-	led   ledger
+	be Backend
+	// hinter is be's optional advisory-prefetch capability, probed once at
+	// construction (nil when absent).
+	hinter Hinter
+	state  *store.Map[graph.NodeID, nodeState]
+	led    ledger
 
 	// pool is the optional prefetch worker pool; nil means Prefetch is a
 	// no-op. Guarded by poolMu (not the shard locks: enqueueing must not
@@ -112,20 +121,37 @@ type Client struct {
 	retired PrefetchStats
 }
 
-// NewClient wraps a service with an empty cache (default shard count) and no
-// prefetch pool.
-func NewClient(svc *Service) *Client {
-	return NewClientShards(svc, 0)
+// NewClient wraps a backend with an empty cache (adaptive default shard
+// count) and no prefetch pool.
+func NewClient(be Backend) *Client {
+	return NewClientShards(be, 0)
 }
 
-// NewClientShards wraps a service with an empty cache sharded n ways (rounded
-// up to a power of two; n <= 0 selects store.DefaultShards, n == 1 is the
-// legacy single-lock layout the contention benchmarks compare against).
-func NewClientShards(svc *Service, n int) *Client {
-	return &Client{
-		svc:   svc,
+// NewClientShards wraps a backend with an empty cache sharded n ways (rounded
+// up to a power of two; n <= 0 selects the adaptive store.DefaultShards(),
+// n == 1 is the legacy single-lock layout the contention benchmarks compare
+// against).
+func NewClientShards(be Backend, n int) *Client {
+	c := &Client{
+		be:    be,
 		state: store.NewMap[graph.NodeID, nodeState](n),
 	}
+	c.hinter, _ = be.(Hinter)
+	return c
+}
+
+// fetchOne performs the backend round-trip for a single user. The demand and
+// speculative paths both funnel through it, so the Backend contract — one
+// Response per id or a batch-wide error — is enforced in exactly one place.
+func (c *Client) fetchOne(ctx context.Context, v graph.NodeID) (Response, error) {
+	resps, err := c.be.Fetch(ctx, []graph.NodeID{v})
+	if err != nil {
+		return Response{}, err
+	}
+	if len(resps) != 1 {
+		return Response{}, fmt.Errorf("osn: backend returned %d responses for 1 id", len(resps))
+	}
+	return resps[0], nil
 }
 
 // Reshard rebuilds the local store with a new shard count. It is NOT safe to
@@ -242,7 +268,7 @@ func (c *Client) QueryContext(ctx context.Context, v graph.NodeID) (Response, er
 		return resp, retErr
 	}
 	if owner {
-		f.resp, f.err = c.svc.QueryContext(ctx, v)
+		f.resp, f.err = c.fetchOne(ctx, v)
 		c.commit(v, f)
 		if f.err != nil {
 			return Response{}, f.err
@@ -340,7 +366,7 @@ func (c *Client) fetchSpeculative(ctx context.Context, v graph.NodeID) (resp Res
 	if cached || pending != nil {
 		return resp, false, pending
 	}
-	f.resp, f.err = c.svc.QueryContext(ctx, v)
+	f.resp, f.err = c.fetchOne(ctx, v)
 	c.commit(v, f)
 	return f.resp, f.err == nil, nil
 }
@@ -484,8 +510,10 @@ func (c *Client) SpeculativeCount() int64 {
 	return c.led.speculative
 }
 
-// NumUsers exposes the provider-published user count.
-func (c *Client) NumUsers() int { return c.svc.NumUsers() }
+// NumUsers exposes the provider-published user count (0 when the backend
+// lacks the UserCounter capability — such backends can still be queried, but
+// a session over them must pin explicit start nodes).
+func (c *Client) NumUsers() int { return backendUsers(c.be) }
 
 // CacheSize returns the number of distinct users stored locally (demanded
 // and speculative).

@@ -137,6 +137,22 @@ func (s *Service) QueryContext(ctx context.Context, v graph.NodeID) (Response, e
 	return resp, nil
 }
 
+// Fetch implements Backend over the simulated provider: each id is served as
+// one individual-user query in input order, so a batch of m ids spends m
+// units of the rate-limit quota exactly as m separate queries would. The
+// first failure aborts the batch (see the Backend contract).
+func (s *Service) Fetch(ctx context.Context, ids []graph.NodeID) ([]Response, error) {
+	out := make([]Response, len(ids))
+	for i, v := range ids {
+		resp, err := s.QueryContext(ctx, v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
 // admitOne advances the simulated clock through latency and, if needed, a
 // rate-limit wait.
 func (s *Service) admitOne() {

@@ -25,12 +25,40 @@
 // BFS-ish access pattern into a single-shard hotspot.
 package store
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
-// DefaultShards is the shard count used when a caller passes n <= 0. 64 is
-// enough that 16 walkers + 16 prefetch workers rarely collide (birthday bound
-// ~2 expected collisions) while keeping the per-map footprint trivial.
-const DefaultShards = 64
+// Default shard-count clamp: MinDefaultShards keeps even a single-core box
+// reasonably collision-free (walkers + prefetch workers), MaxDefaultShards
+// caps the per-map footprint on very wide machines — beyond a few hundred
+// shards the birthday bound stops improving anything measurable.
+const (
+	MinDefaultShards = 8
+	MaxDefaultShards = 256
+)
+
+// DefaultShards returns the shard count used when a caller passes n <= 0:
+// the next power of two >= 4x GOMAXPROCS, clamped to [MinDefaultShards,
+// MaxDefaultShards]. 4x over-provisioning keeps the expected collision count
+// of a fully loaded fleet (one walker per P plus prefetch workers) near the
+// birthday bound's comfortable regime, and sizing from GOMAXPROCS instead of
+// a fixed 64 means a 2-core CI runner stops paying for shards it cannot
+// contend on while a 64-core box stops funneling 64 walkers through 64
+// shards at ~1 expected collision each. Sharding is invisible to results —
+// trajectories and query bills at a fixed seed are identical at any shard
+// count — so the adaptive default is purely a contention decision.
+func DefaultShards() int {
+	n := ceilPow2(4 * runtime.GOMAXPROCS(0))
+	if n < MinDefaultShards {
+		return MinDefaultShards
+	}
+	if n > MaxDefaultShards {
+		return MaxDefaultShards
+	}
+	return n
+}
 
 // Key is the set of integer key types the engine shards over: node IDs
 // (int32) and packed edge keys (uint64).
@@ -65,8 +93,9 @@ type Map[K Key, V any] struct {
 }
 
 // NewMap returns a map with the given shard count rounded up to a power of
-// two (n <= 0 selects DefaultShards; n == 1 is a valid single-lock map, the
-// pre-sharding behavior the contention benchmarks compare against).
+// two (n <= 0 selects the adaptive DefaultShards(); n == 1 is a valid
+// single-lock map, the pre-sharding behavior the contention benchmarks
+// compare against).
 func NewMap[K Key, V any](n int) *Map[K, V] {
 	n = ceilPow2(n)
 	m := &Map[K, V]{shards: make([]shard[K, V], n), mask: uint64(n - 1)}
@@ -76,10 +105,10 @@ func NewMap[K Key, V any](n int) *Map[K, V] {
 	return m
 }
 
-// ceilPow2 rounds n up to the next power of two (n <= 0 => DefaultShards).
+// ceilPow2 rounds n up to the next power of two (n <= 0 => DefaultShards()).
 func ceilPow2(n int) int {
 	if n <= 0 {
-		return DefaultShards
+		return DefaultShards()
 	}
 	p := 1
 	for p < n {

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -33,13 +34,27 @@ func TestMapBasics(t *testing.T) {
 
 func TestMapShardRounding(t *testing.T) {
 	cases := []struct{ in, want int }{
-		{-1, DefaultShards}, {0, DefaultShards}, {1, 1}, {2, 2}, {3, 4},
+		{-1, DefaultShards()}, {0, DefaultShards()}, {1, 1}, {2, 2}, {3, 4},
 		{5, 8}, {64, 64}, {65, 128},
 	}
 	for _, c := range cases {
 		if got := NewMap[uint64, int](c.in).Shards(); got != c.want {
 			t.Errorf("NewMap(%d).Shards() = %d, want %d", c.in, got, c.want)
 		}
+	}
+}
+
+func TestDefaultShardsAdaptive(t *testing.T) {
+	n := DefaultShards()
+	if n < MinDefaultShards || n > MaxDefaultShards {
+		t.Fatalf("DefaultShards() = %d outside [%d, %d]", n, MinDefaultShards, MaxDefaultShards)
+	}
+	if n&(n-1) != 0 {
+		t.Fatalf("DefaultShards() = %d not a power of two", n)
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if want := ceilPow2(4 * procs); n != want && want >= MinDefaultShards && want <= MaxDefaultShards {
+		t.Fatalf("DefaultShards() = %d, want %d for GOMAXPROCS=%d", n, want, procs)
 	}
 }
 

@@ -230,9 +230,12 @@ func WithPartitionedBudget(on bool) Option {
 // WithStoreShards sets the shard count of the session's storage engine —
 // the sharded maps behind the provider's query cache and the MTO overlay's
 // edit sets and materialized lists (internal/store). n is rounded up to a
-// power of two. The default (64) suits fleets up to a few dozen walkers;
-// raise it for very large fleets on many-core machines, or set 1 to force
-// the legacy single-lock layout the contention benchmarks compare against.
+// power of two. The default adapts to the machine: the next power of two
+// >= 4x GOMAXPROCS, clamped to [8, 256], so small runners stop paying for
+// shards they cannot contend on and many-core boxes get headroom without
+// tuning. Set it explicitly for very large fleets beyond the clamp, or 1 to
+// force the legacy single-lock layout the contention benchmarks compare
+// against.
 // Sharding is invisible to results: trajectories and query bills for a fixed
 // seed are identical at any shard count.
 //

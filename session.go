@@ -73,7 +73,17 @@ func NewSession(src Source, opts ...Option) (*Session, error) {
 	}
 	n := src.NumUsers()
 	if n == 0 {
-		return nil, fmt.Errorf("rewire: source has no users")
+		// A backend without the UserCounter capability (or an empty source)
+		// publishes no ID space: starts cannot be spread or range-validated,
+		// and Random Jump has nowhere to jump. Explicit starts keep every
+		// other chain usable — a bad start surfaces as ErrNoSuchUser on the
+		// first-run connectivity check instead.
+		if len(cfg.starts) == 0 {
+			return nil, fmt.Errorf("rewire: source publishes no user count — pin start nodes with WithStarts")
+		}
+		if cfg.alg == AlgRJ {
+			return nil, fmt.Errorf("rewire: AlgRJ needs a published user count for its jump ID space")
+		}
 	}
 	r := rng.New(cfg.seed)
 	starts := cfg.starts
@@ -84,7 +94,7 @@ func NewSession(src Source, opts ...Option) (*Session, error) {
 		}
 	}
 	for _, v := range starts {
-		if v < 0 || int(v) >= n {
+		if v < 0 || (n > 0 && int(v) >= n) {
 			return nil, fmt.Errorf("%w: start %d", ErrNoSuchUser, v)
 		}
 	}

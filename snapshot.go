@@ -1,0 +1,37 @@
+package rewire
+
+import (
+	"errors"
+	"io"
+
+	"rewire/internal/graph"
+)
+
+// ErrSnapshotFormat reports a CSR snapshot that cannot be opened: truncated
+// or corrupt header, unknown version, foreign byte order, or array bounds
+// that disagree with the file size.
+var ErrSnapshotFormat = graph.ErrSnapshotFormat
+
+// WriteSnapshot serializes g in the SDK's binary CSR snapshot format — a
+// versioned, checksummed header followed by the graph's offsets and neighbor
+// arrays verbatim. A snapshot re-opens in O(1) via Open("snapshot:path")
+// (mmap'd on linux, portable io.ReaderAt elsewhere), which is what makes
+// million-node crawl state usable without an edge-list rebuild. The write
+// streams in constant memory.
+//
+// The workflow: crawl (or generate) once, WriteSnapshot, then every later
+// session does Open(ctx, "snapshot:crawl.csr") and walks immediately.
+func WriteSnapshot(w io.Writer, g *Graph) error {
+	if g == nil {
+		return errors.New("rewire: WriteSnapshot of nil graph")
+	}
+	return g.WriteSnapshot(w)
+}
+
+// WriteSnapshotFile writes g's snapshot to path (0644, truncating).
+func WriteSnapshotFile(path string, g *Graph) error {
+	if g == nil {
+		return errors.New("rewire: WriteSnapshotFile of nil graph")
+	}
+	return g.WriteSnapshotFile(path)
+}

@@ -2,54 +2,78 @@ package rewire
 
 import (
 	"context"
+	"fmt"
 	"slices"
 	"time"
 
 	"rewire/internal/osn"
 )
 
-// Source is the network backend a Session samples from. The two built-in
-// backends are in-memory graphs (GraphSource — free local access, for
-// ground-truth work) and simulated restrictive providers (Simulate — the
-// paper's access model, with unique-query cost accounting, rate limits, and
-// round-trip latency). Every query a Session issues flows through this
-// interface, and the context-taking form is what makes cancellation and
-// deadlines abort in-flight round-trips.
+// Source is the network backend a Session samples from. The built-in
+// implementations are in-memory graphs (GraphSource — free local access, for
+// ground-truth work) and Providers (Simulate, Open, BackendSource — the
+// paper's access model, with unique-query cost accounting over any Backend).
+// Every query a Session issues flows through this interface, and the
+// context-taking form is what makes cancellation and deadlines abort
+// in-flight round-trips.
+//
+// Aliasing contract (applies to every Source and to Provider.Query/
+// QueryBatch): a returned neighbor slice is the caller's to read, never to
+// modify in place. GraphSource hands out read-only views into its graph's
+// CSR storage (zero-copy, capacity clipped so an append reallocates);
+// Provider returns defensive copies, because its cached lists also feed the
+// billing ledger and the Theorem 5 criterion and must stay immune to caller
+// mutation. Code that wants a mutable list clones it.
 type Source interface {
-	// Neighbors returns v's neighbor list. GraphSource hands out a read-only
-	// view into its graph's CSR storage (zero-copy, capacity clipped so an
-	// append reallocates); Provider returns a defensive copy, because its
-	// cached lists also feed the billing ledger and the Theorem 5 criterion
-	// and must stay immune to caller mutation. Either way the caller owns no
-	// right to modify elements of a view.
+	// Neighbors returns v's neighbor list (see the aliasing contract on
+	// Source), or nil for unknown IDs and failed round-trips — use
+	// NeighborsContext to see the error.
 	Neighbors(v NodeID) []NodeID
 	// Degree returns len(Neighbors(v)).
 	Degree(v NodeID) int
 	// NeighborsContext is Neighbors bound to a context: any round-trip the
 	// read requires honors ctx, and failures (cancellation, deadline, budget
-	// exhaustion, unknown IDs) are returned instead of swallowed.
+	// exhaustion, unknown IDs) are returned instead of swallowed. Unknown IDs
+	// fail with an error matching ErrNoSuchUser on every backend.
 	NeighborsContext(ctx context.Context, v NodeID) ([]NodeID, error)
 	// NumUsers returns the total user count — the provider-published figure
-	// Random Jump needs for its ID space.
+	// Random Jump needs for its ID space (0 when the backend does not publish
+	// one).
 	NumUsers() int
 }
 
 // GraphSource exposes an in-memory graph as a Source: every read is free and
-// instantaneous, so sessions over it measure pure algorithm behavior.
-// Neighbor lists are read-only views into the graph's CSR arrays — never
-// modify their elements (appending is safe: views have clipped capacity, so
-// an append reallocates instead of touching the graph).
+// instantaneous, so sessions over it measure pure algorithm behavior. It is
+// the compatibility layer over the mem: driver's free-access semantics —
+// unlike Open("mem:..."), nothing is cached or billed, because there is no
+// cost model to account under. Neighbor lists follow the Source aliasing
+// contract (read-only CSR views).
 func GraphSource(g *Graph) Source { return graphSource{g} }
 
 type graphSource struct{ g *Graph }
 
-func (s graphSource) Neighbors(v NodeID) []NodeID { return s.g.Neighbors(v) }
-func (s graphSource) Degree(v NodeID) int         { return s.g.Degree(v) }
-func (s graphSource) NumUsers() int               { return s.g.NumNodes() }
+func (s graphSource) Neighbors(v NodeID) []NodeID {
+	if v < 0 || int(v) >= s.g.NumNodes() {
+		return nil
+	}
+	return s.g.Neighbors(v)
+}
+
+func (s graphSource) Degree(v NodeID) int {
+	if v < 0 || int(v) >= s.g.NumNodes() {
+		return 0
+	}
+	return s.g.Degree(v)
+}
+
+func (s graphSource) NumUsers() int { return s.g.NumNodes() }
 
 func (s graphSource) NeighborsContext(ctx context.Context, v NodeID) ([]NodeID, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if v < 0 || int(v) >= s.g.NumNodes() {
+		return nil, fmt.Errorf("%w: id %d", ErrNoSuchUser, v)
 	}
 	return s.g.Neighbors(v), nil
 }
@@ -81,66 +105,123 @@ func TwitterLimits() Limits { return Limits(osn.TwitterLimits()) }
 // PrefetchStats counts a provider's speculative-fetch activity.
 type PrefetchStats = osn.PrefetchStats
 
-// Provider simulates the restrictive web interface of an online social
-// network over an in-memory graph: the only operation is the individual-user
-// query q(v), rate-limited per Limits, with the paper's cost accounting —
-// only unique demanded queries count; duplicates and speculative prefetches
-// are served from (or parked in) a local cache.
+// Provider is the cached, demand-billed client over any Backend: the only
+// operation is the individual-user query q(v), with the paper's cost
+// accounting — only unique demanded queries count; duplicates and
+// speculative prefetches are served from (or parked in) a local sharded
+// cache. Construct one with Simulate (simulated restrictive interface over
+// an in-memory graph), Open (URL-style driver resolution: mem, sim, http,
+// snapshot, or third-party schemes), or BackendSource (any hand-built
+// Backend, middleware included).
 //
-// A Provider is safe for concurrent use and is the backend to pass NewSession
-// for any experiment where query cost or latency matters.
+// A Provider is safe for concurrent use and is the backend to pass
+// NewSession for any experiment where query cost or latency matters.
+// Returned neighbor slices are defensive copies — see the Source aliasing
+// contract.
 type Provider struct {
-	svc    *osn.Service
-	client *osn.Client
+	svc     *osn.Service // non-nil only for simulated backends
+	client  *osn.Client
+	backend Backend // nil for the legacy Simulate construction path
 }
 
-// Simulate wraps g in a simulated provider under the given limits.
+// Simulate wraps g in a simulated provider under the given limits. It is the
+// compatibility constructor for the sim: driver — Open(ctx,
+// "sim:...?limits=facebook") builds the same stack — and keeps its
+// historical behavior bit-for-bit: fixed-seed trajectories and unique-query
+// bills are byte-identical to pre-driver releases (the CI bench gate pins
+// them).
 func Simulate(g *Graph, limits Limits) *Provider {
 	svc := osn.NewService(g, nil, osn.Config(limits))
 	return &Provider{svc: svc, client: osn.NewClient(svc)}
 }
 
+// BackendSource wraps any Backend in a Provider, attaching the full client
+// stack: sharded response cache, per-user singleflight, unique-query demand
+// billing, budgets, and the speculative prefetch pool. Capabilities
+// (UserCounter, Hinter, RateLimited, io.Closer) are discovered through the
+// backend's Unwrap chain, so middleware composition never hides them.
+func BackendSource(b Backend) *Provider {
+	p := &Provider{client: osn.NewClient(newOSNBackend(b)), backend: b}
+	if sb, ok := backendAs[*simBackend](b); ok {
+		// Simulated backends opened through the driver registry report their
+		// simulation telemetry exactly like the Simulate constructor.
+		p.svc = sb.svc
+	}
+	return p
+}
+
+// Backend returns the backend this provider wraps (nil for the legacy
+// Simulate construction path). Probe it for capabilities — e.g.
+// RateLimited, or a WithMetrics wrapper's Metrics method.
+func (p *Provider) Backend() Backend { return p.backend }
+
+// Close releases resources held by the backend chain (snapshot mappings,
+// idle HTTP connections). The provider's cache and ledger survive Close —
+// but fetches after it will fail for backends that needed those resources.
+// Providers over purely in-memory backends make Close a no-op.
+func (p *Provider) Close() error {
+	if p.backend == nil {
+		return nil
+	}
+	return closeBackend(p.backend)
+}
+
 // Neighbors returns v's neighbor list, querying (and billing) on a cache
 // miss; nil for unknown IDs or failed round-trips — use NeighborsContext to
-// see the error. The returned slice is a defensive copy: the cached list
-// also backs the client's free-knowledge accessors (Theorem 5) and must not
-// be mutable from outside.
+// see the error. The slice is a defensive copy (Source aliasing contract).
 func (p *Provider) Neighbors(v NodeID) []NodeID {
-	return slices.Clone(p.client.Neighbors(v))
+	nbrs := p.client.Neighbors(v)
+	if nbrs == nil {
+		return nil
+	}
+	return slices.Clone(nbrs)
 }
 
 // Degree returns v's degree, querying on a cache miss.
 func (p *Provider) Degree(v NodeID) int { return p.client.Degree(v) }
 
-// NeighborsContext returns v's neighbor list (a defensive copy, like
-// Neighbors) with the round-trip bound to ctx; cancellation aborts the
-// in-flight request without billing it.
+// NeighborsContext returns v's neighbor list (a defensive copy, per the
+// Source aliasing contract) with the round-trip bound to ctx; cancellation
+// aborts the in-flight request without billing it.
 func (p *Provider) NeighborsContext(ctx context.Context, v NodeID) ([]NodeID, error) {
 	nbrs, err := p.client.NeighborsContext(ctx, v)
-	return slices.Clone(nbrs), err
+	if err != nil {
+		return nil, err
+	}
+	return slices.Clone(nbrs), nil
 }
 
-// NumUsers returns the provider-published user count.
+// NumUsers returns the provider-published user count (0 when the backend
+// lacks the UserCounter capability).
 func (p *Provider) NumUsers() int { return p.client.NumUsers() }
 
 // Query resolves q(v) under ctx and returns v's neighbor list (a defensive
-// copy, like Neighbors).
+// copy, per the Source aliasing contract).
 func (p *Provider) Query(ctx context.Context, v NodeID) ([]NodeID, error) {
 	nbrs, err := p.client.NeighborsContext(ctx, v)
-	return slices.Clone(nbrs), err
+	if err != nil {
+		return nil, err
+	}
+	return slices.Clone(nbrs), nil
 }
 
 // QueryBatch resolves all ids under ctx, overlapping the misses' round-trips,
-// and returns the neighbor lists in input order. Each id bills at most one
-// unique query no matter how many batches or walkers race for it; a
-// cancelled batch returns promptly with ctx's error.
+// and returns the neighbor lists in input order (defensive copies, per the
+// Source aliasing contract). Each id bills at most one unique query no
+// matter how many batches or walkers race for it. On failure — cancellation,
+// budget exhaustion, an unknown id — the batch returns nil results with the
+// error; responses that resolved before the failure are cached and billed,
+// and re-querying them is free.
 func (p *Provider) QueryBatch(ctx context.Context, ids []NodeID) ([][]NodeID, error) {
 	resps, err := p.client.QueryBatchContext(ctx, ids)
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]NodeID, len(resps))
 	for i, r := range resps {
 		out[i] = slices.Clone(r.Neighbors)
 	}
-	return out, err
+	return out, nil
 }
 
 // SetBudget caps unique (demand) queries at n; the sampling path returns
@@ -160,15 +241,48 @@ func (p *Provider) CacheSize() int { return p.client.CacheSize() }
 // SpeculativeCount returns prefetched responses no demand query has consumed.
 func (p *Provider) SpeculativeCount() int64 { return p.client.SpeculativeCount() }
 
-// TotalQueries returns the provider-side request count (including
-// speculative and coalesced duplicates served before caching).
-func (p *Provider) TotalQueries() int64 { return p.svc.TotalQueries() }
+// TotalQueries returns the simulated provider-side request count (including
+// speculative and coalesced duplicates served before caching); 0 for
+// non-simulated backends, which meter on their own side.
+func (p *Provider) TotalQueries() int64 {
+	if p.svc == nil {
+		return 0
+	}
+	return p.svc.TotalQueries()
+}
 
-// SimulatedElapsed returns the simulated wall-clock consumed so far.
-func (p *Provider) SimulatedElapsed() time.Duration { return p.svc.SimulatedElapsed() }
+// SimulatedElapsed returns the simulated wall-clock consumed so far (0 for
+// non-simulated backends).
+func (p *Provider) SimulatedElapsed() time.Duration {
+	if p.svc == nil {
+		return 0
+	}
+	return p.svc.SimulatedElapsed()
+}
 
-// RateLimitWaits returns how many times a query sat out a rate-limit window.
-func (p *Provider) RateLimitWaits() int64 { return p.svc.RateLimitWaits() }
+// RateLimitWaits returns how many times a query sat out a simulated
+// rate-limit window (0 for non-simulated backends — see RateLimit for live
+// quota feedback).
+func (p *Provider) RateLimitWaits() int64 {
+	if p.svc == nil {
+		return 0
+	}
+	return p.svc.RateLimitWaits()
+}
+
+// RateLimit returns the backend's live quota feedback when it has the
+// RateLimited capability (the HTTP driver mirrors X-RateLimit-* headers
+// here); ok is false otherwise, and until feedback has been observed.
+func (p *Provider) RateLimit() (RateLimitInfo, bool) {
+	if p.backend == nil {
+		return RateLimitInfo{}, false
+	}
+	rl, ok := backendAs[RateLimited](p.backend)
+	if !ok {
+		return RateLimitInfo{}, false
+	}
+	return rl.RateLimit()
+}
 
 // PrefetchStats returns the speculative pool's counters (zero without
 // prefetching configured).

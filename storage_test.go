@@ -152,7 +152,9 @@ func TestStoreShardsInvariance(t *testing.T) {
 
 	for _, mto := range []bool{false, true} {
 		refSamples, refQueries := run(1, mto) // legacy single-lock layout
-		for _, shards := range []int{2, 64, 256} {
+		// 0 exercises the adaptive GOMAXPROCS-sized default shard count,
+		// which must be as invisible to results as any explicit count.
+		for _, shards := range []int{0, 2, 64, 256} {
 			samples, queries := run(shards, mto)
 			if queries != refQueries {
 				t.Fatalf("mto=%v shards=%d: UniqueQueries = %d, want %d", mto, shards, queries, refQueries)
