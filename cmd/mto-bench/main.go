@@ -267,14 +267,20 @@ func run(which string, full bool, seed uint64, dataset, jsonOut string, pf prefe
 // renderSuite prints the bench suite as an aligned table.
 func renderSuite(out *os.File, suite benchcmp.Suite) {
 	fmt.Fprintf(out, "seed %d\n\n", suite.Seed)
-	t := &exp.Table{Header: []string{"benchmark", "wall", "samples", "queries", "speedup"}}
+	t := &exp.Table{Header: []string{"benchmark", "wall", "samples", "queries", "speedup", "allocs/op"}}
 	for _, r := range suite.Results {
 		speedup := "-"
 		if r.Speedup > 0 {
 			speedup = fmt.Sprintf("%.2fx", r.Speedup)
 		}
+		allocs := "-"
+		if r.WallNS == 0 {
+			// Pure-counter rows (the steady-state allocation gates) carry no
+			// wall-clock; for them allocs/op is the measurement.
+			allocs = fmt.Sprintf("%.2f", r.AllocsPerOp)
+		}
 		t.AddRow(r.Name, fmt.Sprintf("%dms", r.WallNS/1e6), fmt.Sprintf("%d", r.Samples),
-			fmt.Sprintf("%d", r.Queries), speedup)
+			fmt.Sprintf("%d", r.Queries), speedup, allocs)
 	}
 	t.Render(out)
 }

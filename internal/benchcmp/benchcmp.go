@@ -44,6 +44,15 @@ type Result struct {
 	// MinSpeedup is the gate floor for Speedup, set in the baseline file
 	// (runs leave it 0).
 	MinSpeedup float64 `json:"min_speedup,omitempty"`
+	// AllocsPerOp is the benchmark's heap allocations per operation (the
+	// -benchmem metric, measured in-process). Like Queries it is a
+	// machine-portable counter: a warm hot path either allocates or it
+	// does not, whatever the hardware.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// GateAllocs, set in the baseline file, makes AllocsPerOp a hard
+	// ceiling: a run whose allocs/op exceeds the baseline's fails the gate.
+	// With a baseline AllocsPerOp of 0 this is the zero-allocation gate.
+	GateAllocs bool `json:"gate_allocs,omitempty"`
 }
 
 // Suite is a full benchmark run.
@@ -154,6 +163,11 @@ func compareOne(b, r Result, tol float64) []Finding {
 				Base: float64(b.Queries), Run: float64(r.Queries), Regression: true,
 				Msg: fmt.Sprintf("unique-query cost dropped %.1f%% (tolerance %.0f%%) — deterministic counters must not drift; if intentional, refresh bench/baseline.json", (1-ratio)*100, tol*100)})
 		}
+	}
+	if b.GateAllocs && r.AllocsPerOp > b.AllocsPerOp {
+		out = append(out, Finding{Name: b.Name, Metric: "allocs_per_op",
+			Base: b.AllocsPerOp, Run: r.AllocsPerOp, Regression: true,
+			Msg: fmt.Sprintf("allocs/op %.2f exceeds the gated ceiling %.2f — this hot path must not allocate at steady state", r.AllocsPerOp, b.AllocsPerOp)})
 	}
 	if b.MinSpeedup > 0 && r.Speedup > 0 && r.Speedup < b.MinSpeedup {
 		out = append(out, Finding{Name: b.Name, Metric: "speedup",

@@ -12,6 +12,7 @@ func baseSuite() Suite {
 		Results: []Result{
 			{Name: "FleetPrefetchOff", WallNS: 1000, Queries: 500},
 			{Name: "FleetPrefetchOn", WallNS: 400, Queries: 500, Speedup: 2.5, MinSpeedup: 2.0},
+			{Name: "WalkSteadyAllocs", AllocsPerOp: 0, GateAllocs: true},
 		},
 	}
 }
@@ -23,6 +24,7 @@ func runSuite() Suite {
 		Results: []Result{
 			{Name: "FleetPrefetchOff", WallNS: 1100, Queries: 500},
 			{Name: "FleetPrefetchOn", WallNS: 420, Queries: 500, Speedup: 2.6},
+			{Name: "WalkSteadyAllocs", AllocsPerOp: 0},
 		},
 	}
 }
@@ -87,6 +89,25 @@ func TestWallClockDriftIsInformational(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("wall-clock drift should produce a note")
+	}
+}
+
+func TestAllocsAboveGatedCeilingFails(t *testing.T) {
+	run := runSuite()
+	run.Results[2].AllocsPerOp = 0.01 // one stray allocation per hundred steps
+	fs := Compare(baseSuite(), run, 0.2)
+	if !HasRegression(fs) {
+		t.Fatal("allocs/op above the gated ceiling not flagged")
+	}
+}
+
+func TestAllocsNotGatedWithoutFlag(t *testing.T) {
+	base := baseSuite()
+	base.Results[2].GateAllocs = false
+	run := runSuite()
+	run.Results[2].AllocsPerOp = 3
+	if fs := Compare(base, run, 0.2); HasRegression(fs) {
+		t.Fatalf("ungated allocs/op must not fail the gate: %v", fs)
 	}
 }
 

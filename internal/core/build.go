@@ -84,7 +84,11 @@ func (m *mutableGraph) commonCount(u, v graph.NodeID) int {
 	return n
 }
 
-// commonWith lists common neighbors (order unspecified).
+// commonWith lists common neighbors, sorted. Today's consumers (the
+// Theorem 3/5 criteria) only count and sum over the list, but collecting
+// from a map range must not bake iteration order into anything a future
+// caller might branch on — sorting keeps the helper seed-deterministic by
+// construction.
 func (m *mutableGraph) commonWith(u, v graph.NodeID) []graph.NodeID {
 	a, b := m.adj[u], m.adj[v]
 	if len(b) < len(a) {
@@ -96,6 +100,7 @@ func (m *mutableGraph) commonWith(u, v graph.NodeID) []graph.NodeID {
 			out = append(out, w)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

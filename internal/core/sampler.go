@@ -159,6 +159,10 @@ type Sampler struct {
 	// never need caching). Unused when Theorem 5 can apply: its verdict
 	// improves as the degree cache grows.
 	verdicts map[graph.EdgeKey]struct{}
+	// scratch is the reusable common-neighbor buffer behind removableEdge:
+	// the criterion only reads the intersection, so one buffer per sampler
+	// keeps the steady-state step allocation-free.
+	scratch []graph.NodeID
 }
 
 // neighborCache is the optional source capability the Theorem 5 path needs:
@@ -330,8 +334,8 @@ func (s *Sampler) removableEdge(u, v graph.NodeID, uOv, vOv []graph.NodeID) bool
 		}
 	}
 	if s.cfg.Criterion == EvalOverlay {
-		common := graph.IntersectSorted(uOv, vOv)
-		return Removable(common, len(uOv), len(vOv), s.cache)
+		s.scratch = graph.IntersectSortedInto(s.scratch, uOv, vOv)
+		return Removable(s.scratch, len(uOv), len(vOv), s.cache)
 	}
 	// EvalOriginal: static criterion on the neighborhoods the queries
 	// returned; connectivity guard on the overlay.
@@ -346,7 +350,8 @@ func (s *Sampler) removableEdge(u, v graph.NodeID, uOv, vOv []graph.NodeID) bool
 	}
 	ub := s.ov.base.Neighbors(u) // cached: the walk already paid for both
 	vb := s.ov.base.Neighbors(v)
-	fires := Removable(graph.IntersectSorted(ub, vb), len(ub), len(vb), s.cache)
+	s.scratch = graph.IntersectSortedInto(s.scratch, ub, vb)
+	fires := Removable(s.scratch, len(ub), len(vb), s.cache)
 	if !fires && s.verdicts != nil {
 		s.verdicts[k] = struct{}{}
 	}

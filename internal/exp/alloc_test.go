@@ -1,0 +1,31 @@
+package exp
+
+import "testing"
+
+// TestSteadyStateWalkZeroAlloc is the allocation gate for the walk inner
+// loop: once the cache is warm, a step must not allocate — not 8 bytes, not
+// one interface box. It asserts on SteadyStateAllocs, the exact measurement
+// the bench artifact gates (testing.AllocsPerRun rounds mallocs/runs down,
+// so a handful of stray allocations per thousand steps would slip past it).
+func TestSteadyStateWalkZeroAlloc(t *testing.T) {
+	row := SteadyStateAllocs(SmallDatasets()[0], 1)
+	if row.SRW != 0 {
+		t.Errorf("SRW steady-state step allocates %.4f times/op; want 0", row.SRW)
+	}
+	if row.MTO != 0 {
+		t.Errorf("MTO non-mutating step allocates %.4f times/op; want 0", row.MTO)
+	}
+}
+
+// TestSteadyStateAllocsSeedIndependent re-measures at a different seed: the
+// zero-allocation contract is a property of the code path, not of one lucky
+// trajectory.
+func TestSteadyStateAllocsSeedIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("duplicate measurement at a second seed")
+	}
+	row := SteadyStateAllocs(SmallDatasets()[0], 7)
+	if row.SRW != 0 || row.MTO != 0 {
+		t.Errorf("steady-state allocations at seed 7: SRW=%.4f MTO=%.4f; want 0, 0", row.SRW, row.MTO)
+	}
+}

@@ -20,6 +20,18 @@ func BenchSuite(seed uint64) (benchcmp.Suite, error) {
 	ds := SmallDatasets()[0]
 	cfg := QuickPrefetchExpConfig()
 	suite := benchcmp.Suite{Schema: benchcmp.Schema, Seed: seed}
+
+	// Steady-state allocation counters: with the cache warm and rewiring at
+	// its fixpoint, a walk step must not allocate. Allocations, like query
+	// counters, are machine-portable — the baseline gates them at zero — and
+	// they are measured first, before the latency workloads fill the process
+	// with worker pools, mmaps, and finalizers whose background churn would
+	// taint the malloc counter.
+	alloc := SteadyStateAllocs(ds, seed)
+	suite.Results = append(suite.Results,
+		benchcmp.Result{Name: "WalkSteadySRWAllocs", Samples: allocMeasureRuns, AllocsPerOp: alloc.SRW},
+		benchcmp.Result{Name: "WalkSteadyMTOAllocs", Samples: allocMeasureRuns, AllocsPerOp: alloc.MTO},
+	)
 	add := func(name string, samples int, row PrefetchRow, ref time.Duration) time.Duration {
 		r := benchcmp.Result{
 			Name:    name,

@@ -63,7 +63,11 @@ func (d *Digraph) NumNodes() int { return len(d.out) }
 // NumArcs returns the number of directed arcs.
 func (d *Digraph) NumArcs() int { return d.edges }
 
-// OutNeighbors returns u's sorted out-neighbor list (shared, do not modify).
+// OutNeighbors returns u's sorted out-neighbor list as a read-only view
+// (shared storage, do not modify) — the zero-alloc contract mirrors
+// Graph.Neighbors.
+//
+//rewirelint:allow aliasing documented read-only view, mirrors Graph.Neighbors zero-alloc contract
 func (d *Digraph) OutNeighbors(u NodeID) []NodeID { return d.out[u] }
 
 // HasArc reports whether the arc u -> v exists.

@@ -130,6 +130,7 @@ func (g *Graph) Degree(u NodeID) int { return int(g.offsets[u+1] - g.offsets[u])
 // modified.
 func (g *Graph) Neighbors(u NodeID) []NodeID {
 	lo, hi := g.offsets[u], g.offsets[u+1]
+	//rewirelint:allow aliasing zero-alloc CSR view is the documented contract; capacity clipped so appends reallocate
 	return g.neigh[lo:hi:hi]
 }
 
@@ -173,7 +174,14 @@ func (g *Graph) CountCommonNeighbors(u, v NodeID) int {
 
 // IntersectSorted intersects two ascending NodeID slices.
 func IntersectSorted(a, b []NodeID) []NodeID {
-	var out []NodeID
+	return IntersectSortedInto(nil, a, b)
+}
+
+// IntersectSortedInto is IntersectSorted appending into dst[:0], so a caller
+// on a hot path can reuse one scratch buffer instead of allocating per call
+// (the walk inner loop's zero-allocation steady state depends on this).
+func IntersectSortedInto(dst, a, b []NodeID) []NodeID {
+	out := dst[:0]
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {

@@ -48,11 +48,11 @@ func ReadEdgeList(r io.Reader, nodeHint int) (*Graph, error) {
 		}
 		u, err := strconv.ParseInt(fields[0], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad node id %q: %v", line, fields[0], err)
+			return nil, fmt.Errorf("graph: line %d: bad node id %q: %w", line, fields[0], err)
 		}
 		v, err := strconv.ParseInt(fields[1], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad node id %q: %v", line, fields[1], err)
+			return nil, fmt.Errorf("graph: line %d: bad node id %q: %w", line, fields[1], err)
 		}
 		if u < 0 || v < 0 {
 			return nil, fmt.Errorf("graph: line %d: negative node id", line)

@@ -282,6 +282,7 @@ func (s *Snapshot) Neighbors(v NodeID) ([]NodeID, error) {
 		return nil, err
 	}
 	if s.neigh != nil {
+		//rewirelint:allow aliasing zero-copy mmap view is the documented contract; valid until Close, capacity clipped
 		return s.neigh[lo:hi:hi], nil
 	}
 	raw := make([]byte, 4*(hi-lo))

@@ -365,6 +365,7 @@ func (b *Backend) NumUsers() int {
 	if n > 0 {
 		return n
 	}
+	//rewirelint:allow ctxflow osn.UserCounter is context-less by contract; timeout bounds the lazy fetch
 	ctx, cancel := context.WithTimeout(context.Background(), b.opt.RequestTimeout)
 	defer cancel()
 	n, _ = b.Meta(ctx)

@@ -178,6 +178,7 @@ func (c *Client) SetBudget(n int64) {
 // response the prefetch pool fetched speculatively is billed here, on first
 // demand, exactly once.
 func (c *Client) Query(v graph.NodeID) (Response, error) {
+	//rewirelint:allow ctxflow context-less convenience shim; ctx-aware callers use QueryContext
 	return c.QueryContext(context.Background(), v)
 }
 
@@ -379,6 +380,7 @@ func (c *Client) fetchSpeculative(ctx context.Context, v graph.NodeID) (resp Res
 // race for it. The first error (if any) is returned after all fetches
 // settle.
 func (c *Client) QueryBatch(ids []graph.NodeID) ([]Response, error) {
+	//rewirelint:allow ctxflow context-less convenience shim; ctx-aware callers use QueryBatchContext
 	return c.QueryBatchContext(context.Background(), ids)
 }
 

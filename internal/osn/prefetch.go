@@ -90,6 +90,7 @@ func NewPrefetchingClient(be Backend, cfg PrefetchConfig) *Client {
 // StartPrefetch launches the prefetch pool. Starting an already-prefetching
 // client replaces the pool (the old one is stopped first).
 func (c *Client) StartPrefetch(cfg PrefetchConfig) {
+	//rewirelint:allow ctxflow context-less convenience shim; ctx-aware callers use StartPrefetchContext
 	c.StartPrefetchContext(context.Background(), cfg)
 }
 

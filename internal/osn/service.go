@@ -103,6 +103,7 @@ func (s *Service) NumUsers() int { return s.g.NumNodes() }
 
 // Query serves q(v), charging simulated latency and honoring the rate limit.
 func (s *Service) Query(v graph.NodeID) (Response, error) {
+	//rewirelint:allow ctxflow context-less convenience shim; ctx-aware callers use QueryContext
 	return s.QueryContext(context.Background(), v)
 }
 

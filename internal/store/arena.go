@@ -56,5 +56,6 @@ func (a *Arena[T]) Alloc(n int) []T {
 	a.slab = a.slab[:start+n]
 	out := a.slab[start : start : start+n]
 	a.mu.Unlock()
+	//rewirelint:allow aliasing the arena carve IS the product: caller owns [0,n), capacity clipped against neighbors
 	return out
 }

@@ -91,6 +91,7 @@ type Bound struct {
 // context.
 func NewBound(src Source) *Bound {
 	cs := AsContextSource(src)
+	//rewirelint:allow ctxflow Background is the documented initial state; Bind installs the caller's ctx
 	b := &Bound{src: cs, ctx: context.Background()}
 	b.pf, _ = src.(PrefetchSource)
 	b.cached, _ = src.(CachedSource)
@@ -105,6 +106,7 @@ func NewBound(src Source) *Bound {
 // stepping.
 func (b *Bound) Bind(ctx context.Context) {
 	if ctx == nil {
+		//rewirelint:allow ctxflow nil means unbound; Background restores the documented initial state
 		ctx = context.Background()
 	}
 	b.mu.Lock()

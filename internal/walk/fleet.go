@@ -2,6 +2,7 @@ package walk
 
 import (
 	"context"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -58,8 +59,10 @@ func NewFleetSimple(src Source, starts []graph.NodeID, r *rng.Rand) *Fleet {
 	return NewFleet(members...)
 }
 
-// Members returns the wrapped walkers (shared slice, do not modify).
-func (f *Fleet) Members() []Walker { return f.members }
+// Members returns a copy of the member list; mutating it cannot reorder or
+// drop the fleet's walkers. (The Walker values themselves are shared — they
+// ARE the fleet's live state.)
+func (f *Fleet) Members() []Walker { return slices.Clone(f.members) }
 
 // Stream launches one goroutine per member and returns a channel carrying
 // their merged samples, plus a stop function. The members race for a shared
@@ -74,6 +77,7 @@ func (f *Fleet) Members() []Walker { return f.members }
 // buffered samples by ranging until the channel closes, or just drop the
 // channel; the goroutines exit either way.
 func (f *Fleet) Stream(total int) (samples <-chan Sample, stop func()) {
+	//rewirelint:allow ctxflow context-less convenience shim; ctx-aware callers use StreamContext
 	return f.StreamContext(context.Background(), total)
 }
 
@@ -101,6 +105,7 @@ func (f *Fleet) StreamContext(ctx context.Context, total int) (samples <-chan Sa
 // the fastest members have drained the budget, while partitioning waits for
 // the slowest member's fixed quota.
 func (f *Fleet) StreamPartitioned(total int) (samples <-chan Sample, stop func()) {
+	//rewirelint:allow ctxflow context-less convenience shim; ctx-aware callers use StreamPartitionedContext
 	return f.StreamPartitionedContext(context.Background(), total)
 }
 

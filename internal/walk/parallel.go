@@ -1,6 +1,8 @@
 package walk
 
 import (
+	"slices"
+
 	"rewire/internal/graph"
 	"rewire/internal/rng"
 )
@@ -40,8 +42,10 @@ func NewParallelSimple(src Source, starts []graph.NodeID, r *rng.Rand) *Parallel
 	return NewParallel(members...)
 }
 
-// Members returns the wrapped walkers (shared slice, do not modify).
-func (p *Parallel) Members() []Walker { return p.members }
+// Members returns a copy of the member list; mutating it cannot reorder or
+// drop the wrapped walkers. (The Walker values themselves are shared — they
+// ARE the walk's live state.)
+func (p *Parallel) Members() []Walker { return slices.Clone(p.members) }
 
 // lastStepped returns the index of the member that produced the most recent
 // sample (member 0 before any step). p.next points at the member that steps

@@ -1,0 +1,52 @@
+// Package analysis is a deliberately tiny, dependency-free subset of
+// golang.org/x/tools/go/analysis: just enough structure — an Analyzer with a
+// Run function over a typed Pass, reporting Diagnostics — for rewirelint's
+// project-specific checkers. The shapes mirror x/tools on purpose, so the
+// suite can migrate onto the real framework mechanically if the repo ever
+// grows a dependency budget; until then the tools module builds offline with
+// the standard library alone.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //rewirelint:allow directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by rewirelint -list.
+	Doc string
+	// Run performs the analysis over one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package's parsed and type-checked state to an Analyzer.
+// Only non-test files are loaded: the repo's invariants protect production
+// code paths, and tests are deliberately free to use time.Now,
+// context.Background, et al.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver (which applies
+	// //rewirelint:allow suppression before printing).
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,139 @@
+// Package analysistest runs one analyzer over a fixture module and checks
+// its diagnostics against // want comments, mirroring (a useful subset of)
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is an ordinary Go module rooted at testdata/src/<analyzer>/ —
+// it has its own go.mod, so the loader's `go list` pipeline exercises the
+// exact code path production rewirelint uses. Every line expected to
+// produce diagnostics carries a trailing comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// with one double-quoted regexp per expected diagnostic on that line.
+// Diagnostics on lines without a want comment, and want patterns no
+// diagnostic matched, both fail the test. //rewirelint:allow suppression is
+// active, so fixtures can also prove that the annotated form stays silent.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"rewire/tools/rewirelint/analysis"
+	"rewire/tools/rewirelint/loader"
+	"rewire/tools/rewirelint/runner"
+)
+
+// wantRe pulls the double-quoted patterns out of a want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the fixture module at dir (patterns ./...), applies the analyzer,
+// and diffs findings against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkgs, err := loader.Load(abs, "./...")
+	if err != nil {
+		t.Fatalf("analysistest: loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("analysistest: fixture %s matched no packages", dir)
+	}
+	findings, err := runner.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	wants, err := collectWants(pkgs)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	// Index findings by file:line, then match each line's findings against
+	// that line's want patterns.
+	got := make(map[string][]runner.Finding)
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		got[key] = append(got[key], f)
+	}
+
+	for key, patterns := range wants {
+		fs := got[key]
+		delete(got, key)
+		if len(fs) != len(patterns) {
+			t.Errorf("%s: want %d diagnostic(s), got %d: %v", key, len(patterns), len(fs), messages(fs))
+			continue
+		}
+		for _, p := range patterns {
+			re, err := regexp.Compile(p)
+			if err != nil {
+				t.Errorf("%s: bad want pattern %q: %v", key, p, err)
+				continue
+			}
+			matched := false
+			for _, f := range fs {
+				if re.MatchString(f.Message) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s: no diagnostic matched %q; got %v", key, p, messages(fs))
+			}
+		}
+	}
+	for key, fs := range got {
+		t.Errorf("%s: unexpected diagnostic(s): %v", key, messages(fs))
+	}
+}
+
+// collectWants scans every fixture source file for want comments, keyed by
+// file:line.
+func collectWants(pkgs []*loader.Package) (map[string][]string, error) {
+	wants := make(map[string][]string)
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			src, err := os.ReadFile(name)
+			if err != nil {
+				return nil, err
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				idx := strings.Index(line, "// want ")
+				if idx < 0 {
+					continue
+				}
+				var patterns []string
+				for _, m := range wantRe.FindAllStringSubmatch(line[idx+len("// want "):], -1) {
+					unq := strings.ReplaceAll(strings.ReplaceAll(m[1], `\"`, `"`), `\\`, `\`)
+					patterns = append(patterns, unq)
+				}
+				if len(patterns) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment with no quoted pattern", name, i+1)
+				}
+				wants[fmt.Sprintf("%s:%d", name, i+1)] = patterns
+			}
+		}
+	}
+	return wants, nil
+}
+
+func messages(fs []runner.Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Message
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+// Package rewirelint is the root of the repo's static-analysis tools module.
+// It is a separate Go module so the main rewire module stays dependency-free
+// and the analyzer suite versions independently of the library it polices.
+//
+// The five analyzers (see ./passes/...) machine-enforce the invariants the
+// paper reproduction's guarantees rest on:
+//
+//	lockheld       no lock held across network/scheduler blocking (PR 1)
+//	ctxflow        context threaded through the whole query path (PR 3)
+//	deterministic  seed-deterministic packages free of ambient entropy
+//	sentinel       %w wrapping + errors.Is for typed error sentinels (PR 3)
+//	aliasing       no exported method leaks internal mutable state (PR 4/5)
+//
+// Run the suite with `go run ./cmd/rewirelint -C ../..` from this directory,
+// or via the repository's CI analyze job. The self-check test in this
+// package asserts the repository itself is clean.
+package rewirelint

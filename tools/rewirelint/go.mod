@@ -1,0 +1,3 @@
+module rewire/tools/rewirelint
+
+go 1.24

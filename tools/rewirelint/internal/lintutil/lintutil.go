@@ -1,0 +1,70 @@
+// Package lintutil holds the small go/types interrogation helpers the
+// rewirelint analyzers share: resolving a call's static callee, recognizing
+// context.Context parameters, and spotting error-typed values.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the static *types.Func a call invokes: a package function,
+// a method (through a selection), or a conversion/builtin (nil). Calls
+// through function-typed variables resolve to nil too — rewirelint's checks
+// are about named API surfaces, not function values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Qualified package call: pkg.Func.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether fn is the package-level function path.name
+// (methods never match).
+func IsPkgFunc(fn *types.Func, path, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == path && fn.Name() == name
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// FirstParamIsContext reports whether sig's first parameter is a
+// context.Context.
+func FirstParamIsContext(sig *types.Signature) bool {
+	return sig.Params().Len() > 0 && IsContextType(sig.Params().At(0).Type())
+}
+
+// errorType is the universe's error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// IsErrorType reports whether t implements error.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType) || types.Implements(types.NewPointer(t), errorType)
+}

@@ -1,0 +1,175 @@
+// Package aliasing makes the PR-4/PR-5 class of aliasing bugs — an exported
+// method handing a caller the live backing store of internal state —
+// unrepresentable. A caller that appends to (or writes through) such a slice
+// scribbles over the provider cache, the CSR adjacency, or the overlay's
+// materialized lists, and the corruption surfaces as a wrong trajectory
+// thousands of steps later.
+//
+// The analyzer reports an exported method on an exported type whose return
+// statement hands out a slice or map reached directly from the receiver's
+// fields (r.f, r.a.b, r.f[lo:hi], r.f[lo:hi:hi], r.f[i] with slice
+// elements), including through a local variable bound to such a field.
+// Returning fresh storage (append, make+copy, slices.Clone, composite
+// literals) or values produced by calls is fine.
+//
+// Deliberate zero-copy views — graph.Graph.Neighbors's CSR row is the
+// repo's hot-path contract — stay legal with an explicit, documented
+// //rewirelint:allow aliasing <view contract> annotation, which converts
+// "accidentally leaked internals" into "API with a stated ownership rule".
+package aliasing
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rewire/tools/rewirelint/analysis"
+)
+
+// Analyzer reports exported methods returning internal mutable state.
+var Analyzer = &analysis.Analyzer{
+	Name: "aliasing",
+	Doc:  "exported methods must not return internal mutable slices/maps without a copy or a documented view contract",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := receiverObj(pass.TypesInfo, fd)
+			if recv == nil || !exportedReceiver(recv) {
+				continue
+			}
+			checkMethod(pass, fd, recv)
+		}
+	}
+	return nil
+}
+
+// receiverObj returns the receiver variable's object (nil for unnamed
+// receivers, which cannot leak their fields by name).
+func receiverObj(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	obj, _ := info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return obj
+}
+
+// exportedReceiver reports whether the receiver's named type is exported —
+// unexported types are internal plumbing with no outside callers to protect.
+func exportedReceiver(recv *types.Var) bool {
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Exported()
+}
+
+// checkMethod flags return statements that alias receiver state.
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, recv *types.Var) {
+	// aliases maps local variables to the receiver-field expression they
+	// were bound to (x := r.f) anywhere in the method.
+	aliases := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !receiverChain(pass.TypesInfo, rhs, recv) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					aliases[obj] = true
+				} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					aliases[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if !mutableType(pass.TypesInfo, res) {
+				continue
+			}
+			leaked := receiverChain(pass.TypesInfo, res, recv)
+			if !leaked {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+					leaked = aliases[pass.TypesInfo.Uses[id]]
+				}
+			}
+			if leaked {
+				pass.Reportf(res.Pos(), "%s returns internal mutable state of %s without a copy; copy it or annotate the view contract", fd.Name.Name, recvTypeName(recv))
+			}
+		}
+		return true
+	})
+}
+
+// mutableType reports whether e's static type shares backing storage when
+// returned: slices and maps.
+func mutableType(info *types.Info, e ast.Expr) bool {
+	t, ok := info.Types[e]
+	if !ok || t.Type == nil {
+		return false
+	}
+	switch t.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// receiverChain reports whether e reaches storage owned by the receiver
+// without an intervening call: a selector chain rooted at recv, optionally
+// re-sliced or indexed.
+func receiverChain(info *types.Info, e ast.Expr, recv *types.Var) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			// Field access only; a method value/call breaks ownership.
+			if sel, ok := info.Selections[x]; !ok || sel.Kind() != types.FieldVal {
+				return false
+			}
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return info.Uses[x] == recv
+		default:
+			return false
+		}
+	}
+}
+
+// recvTypeName renders the receiver's type for diagnostics.
+func recvTypeName(recv *types.Var) string {
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return recv.Type().String()
+}

@@ -1,0 +1,12 @@
+package aliasing_test
+
+import (
+	"testing"
+
+	"rewire/tools/rewirelint/analysistest"
+	"rewire/tools/rewirelint/passes/aliasing"
+)
+
+func TestAliasing(t *testing.T) {
+	analysistest.Run(t, "testdata/src/aliasing", aliasing.Analyzer)
+}

@@ -1,0 +1,64 @@
+// Package aliasfix seeds every shape of internal-state leak through an
+// exported method, next to the copying and annotated-view forms.
+package aliasfix
+
+// Graph mimics the repo's CSR graph: slices and maps that ARE the store.
+type Graph struct {
+	neigh []int
+	attrs map[string]string
+	rows  [][]int
+	csr   struct{ data []int }
+}
+
+func (g *Graph) LeakField() []int {
+	return g.neigh // want "LeakField returns internal mutable state of Graph"
+}
+
+func (g *Graph) LeakView(lo, hi int) []int {
+	return g.neigh[lo:hi:hi] // want "LeakView returns internal mutable state of Graph"
+}
+
+func (g *Graph) LeakMap() map[string]string {
+	return g.attrs // want "LeakMap returns internal mutable state of Graph"
+}
+
+func (g *Graph) LeakNested() []int {
+	return g.csr.data // want "LeakNested returns internal mutable state of Graph"
+}
+
+func (g *Graph) LeakRow(i int) []int {
+	return g.rows[i] // want "LeakRow returns internal mutable state of Graph"
+}
+
+func (g *Graph) LeakThroughLocal() []int {
+	view := g.neigh
+	return view // want "LeakThroughLocal returns internal mutable state of Graph"
+}
+
+func (g *Graph) CopyAppend() []int {
+	return append([]int(nil), g.neigh...)
+}
+
+func (g *Graph) CopyMake() []int {
+	out := make([]int, len(g.neigh))
+	copy(out, g.neigh)
+	return out
+}
+
+func (g *Graph) ViaCall() []int {
+	return g.CopyAppend() // a call breaks ownership: the callee decides
+}
+
+func (g *Graph) AnnotatedView() []int {
+	//rewirelint:allow aliasing documented zero-copy view; caller must not modify, valid until the next mutation
+	return g.neigh
+}
+
+// unexported methods have no outside callers to protect.
+func (g *Graph) leak() []int { return g.neigh }
+
+// hidden is an unexported type: internal plumbing, exempt by design.
+type hidden struct{ data []int }
+
+// Leak is exported but its receiver type is not reachable from outside.
+func (h *hidden) Leak() []int { return h.data }

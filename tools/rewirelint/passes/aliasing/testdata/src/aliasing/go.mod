@@ -1,0 +1,3 @@
+module aliasfix
+
+go 1.24

@@ -1,0 +1,119 @@
+// Package ctxflow enforces the repo's context-threading discipline (PR 3
+// wired context.Context through the entire query path; this keeps it wired):
+//
+//   - context.Context must be a function's first parameter — a ctx buried
+//     mid-signature is how call sites end up passing the wrong one;
+//   - a named context parameter must actually be used (forwarded, checked,
+//     or listened on). Accepting a ctx and ignoring it silently severs
+//     cancellation for every caller above; implementations that genuinely
+//     cannot honor it must say so by naming the parameter _;
+//   - context.Background() and context.TODO() are banned outside package
+//     main (a binary's entry point owns the root context) and _test.go
+//     files (never loaded by rewirelint anyway). A library that conjures a
+//     fresh Background context is discarding its caller's deadline and
+//     cancellation — the exact bug class PR 3 eliminated. Deliberate
+//     compatibility shims (Query wrapping QueryContext for context-free
+//     callers) carry a //rewirelint:allow ctxflow <reason> annotation.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rewire/tools/rewirelint/analysis"
+	"rewire/tools/rewirelint/internal/lintutil"
+)
+
+// Analyzer reports context plumbing violations.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Context must be the first parameter, must be used, and context.Background/TODO are banned outside package main",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, x.Type)
+				if x.Body != nil {
+					checkUnused(pass, x.Type, x.Body)
+				}
+			case *ast.FuncLit:
+				checkSignature(pass, x.Type)
+			case *ast.CallExpr:
+				if isMain {
+					return true
+				}
+				fn := lintutil.Callee(pass.TypesInfo, x)
+				if fn != nil && (lintutil.IsPkgFunc(fn, "context", "Background") || lintutil.IsPkgFunc(fn, "context", "TODO")) {
+					pass.Reportf(x.Pos(), "context.%s discards the caller's cancellation and deadline; forward a caller ctx or annotate the shim", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSignature reports a context.Context parameter that is not first.
+func checkSignature(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		t, ok := pass.TypesInfo.Types[field.Type]
+		isCtx := ok && lintutil.IsContextType(t.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtx && pos > 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		pos += n
+	}
+}
+
+// checkUnused reports a named (non-_) context parameter that the body never
+// reads: cancellation from above is silently dropped.
+func checkUnused(pass *analysis.Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	if ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		t, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !lintutil.IsContextType(t.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" || name.Name == "" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil || usesObject(pass.TypesInfo, body, obj) {
+				continue
+			}
+			pass.Reportf(name.Pos(), "context parameter %s is never used: forward it, or name it _ to declare the drop", name.Name)
+		}
+	}
+}
+
+// usesObject reports whether any identifier in body resolves to obj.
+func usesObject(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"rewire/tools/rewirelint/analysistest"
+	"rewire/tools/rewirelint/passes/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ctxflow", ctxflow.Analyzer)
+}

@@ -1,0 +1,10 @@
+// Command tool proves that package main, which owns the root context, may
+// call context.Background freely.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx.Err()
+}

@@ -1,0 +1,38 @@
+// Package ctxflowfix seeds every context-plumbing violation next to the
+// compliant and annotated forms.
+package ctxflowfix
+
+import "context"
+
+func conjure() context.Context {
+	return context.Background() // want "context.Background discards the caller's cancellation"
+}
+
+func procrastinate() context.Context {
+	return context.TODO() // want "context.TODO discards the caller's cancellation"
+}
+
+func annotatedShim() context.Context {
+	//rewirelint:allow ctxflow compatibility shim for context-free callers
+	return context.Background()
+}
+
+func buried(v int, ctx context.Context) error { // want "context.Context must be the first parameter"
+	_ = v
+	return ctx.Err()
+}
+
+var literalBuried = func(v int, ctx context.Context) error { // want "context.Context must be the first parameter"
+	_ = v
+	return ctx.Err()
+}
+
+func dropped(ctx context.Context) int { // want "context parameter ctx is never used"
+	return 1
+}
+
+func declaredDrop(_ context.Context) int { return 2 }
+
+func forwarded(ctx context.Context) error { return ctx.Err() }
+
+func relayed(ctx context.Context) error { return forwarded(ctx) }

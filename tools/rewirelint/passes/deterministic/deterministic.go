@@ -1,0 +1,197 @@
+// Package deterministic guards the repo's headline reproducibility claim:
+// at a fixed seed, trajectories and query bills are byte-identical, run
+// after run, machine after machine. That only holds while the sampling
+// packages stay free of ambient entropy, so inside the seed-deterministic
+// packages (internal/core, internal/walk, internal/graph, internal/gen,
+// internal/estimate, internal/stats) the analyzer bans:
+//
+//   - time.Now — wall-clock reads leak scheduling into results (timing
+//     belongs in the bench/exp layers, which are not gated);
+//   - the global math/rand and math/rand/v2 generators (rand.Intn,
+//     rand.Shuffle, ...), which are process-global and, since Go 1.20,
+//     auto-seeded. All randomness must flow from an explicitly seeded
+//     generator (internal/rng, or rand.New(rand.NewSource(seed)));
+//     seed-accepting constructors (rand.New*, rand.NewSource) stay legal;
+//   - building ordered output (append, channel send) while ranging over a
+//     map, unless the enclosing function visibly sorts afterwards — Go maps
+//     iterate in deliberately randomized order, the exact bug that once made
+//     BarabasiAlbert emit a different graph per run at the same seed.
+//
+// Other packages may use all three freely; deliberate exceptions inside the
+// gated set take //rewirelint:allow deterministic <reason>.
+package deterministic
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rewire/tools/rewirelint/analysis"
+	"rewire/tools/rewirelint/internal/lintutil"
+)
+
+// Analyzer reports ambient-entropy use inside seed-deterministic packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "deterministic",
+	Doc:  "ban time.Now, the global math/rand generator, and map-order-dependent output in seed-deterministic packages",
+	Run:  run,
+}
+
+// GatedSuffixes are the import-path suffixes of the seed-deterministic
+// packages. A package is gated when its path equals a suffix or ends in
+// "/"+suffix, so the rule follows the packages through module renames and
+// applies to the test fixtures' miniature copies.
+var GatedSuffixes = []string{
+	"internal/core",
+	"internal/walk",
+	"internal/graph",
+	"internal/gen",
+	"internal/estimate",
+	"internal/stats",
+}
+
+// gated reports whether pkgPath is in the seed-deterministic set.
+func gated(pkgPath string) bool {
+	for _, s := range GatedSuffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// seedCtors are math/rand package-level functions that are fine in gated
+// code: they construct explicitly seeded generators rather than consuming
+// the global one.
+var seedCtors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func run(pass *analysis.Pass) error {
+	if !gated(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkEntropy(pass, fd.Body)
+			checkMapOrder(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkEntropy flags time.Now and global math/rand draws.
+func checkEntropy(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil {
+			return true // methods (e.g. on *rand.Rand) are seeded instances
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" {
+				pass.Reportf(sel.Pos(), "time.Now in a seed-deterministic package; results must be a function of the seed alone")
+			}
+		case "math/rand", "math/rand/v2":
+			if !seedCtors[fn.Name()] {
+				pass.Reportf(sel.Pos(), "global rand.%s in a seed-deterministic package; draw from an explicitly seeded generator instead", fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkMapOrder flags map-range loops whose bodies emit ordered output
+// (append or channel send) with no visible sort after the loop.
+func checkMapOrder(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var ranges []*ast.RangeStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			if t, ok := pass.TypesInfo.Types[r.X]; ok {
+				if _, isMap := t.Type.Underlying().(*types.Map); isMap {
+					ranges = append(ranges, r)
+				}
+			}
+		}
+		return true
+	})
+	for _, r := range ranges {
+		pos := orderedOutput(r.Body)
+		if !pos.IsValid() {
+			continue
+		}
+		if sortsAfter(pass, fd.Body, r) {
+			continue
+		}
+		pass.Reportf(r.Pos(), "map iteration order is randomized, but this loop builds ordered output; iterate sorted keys or sort the result")
+	}
+}
+
+// orderedOutput returns the position of the first append call or channel
+// send inside body (invalid when there is none).
+func orderedOutput(body *ast.BlockStmt) (pos token.Pos) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			pos = x.Pos()
+			return false
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "append" {
+				pos = x.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return pos
+}
+
+// sortsAfter reports whether the enclosing function body calls a sort
+// (sort.* or slices.Sort*) lexically after the range loop — the canonical
+// collect-then-sort repair.
+func sortsAfter(pass *analysis.Pass, body *ast.BlockStmt, r *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < r.End() {
+			return true
+		}
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort":
+			found = true
+		case "slices":
+			if strings.HasPrefix(fn.Name(), "Sort") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

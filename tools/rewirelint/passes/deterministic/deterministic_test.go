@@ -1,0 +1,12 @@
+package deterministic_test
+
+import (
+	"testing"
+
+	"rewire/tools/rewirelint/analysistest"
+	"rewire/tools/rewirelint/passes/deterministic"
+)
+
+func TestDeterministic(t *testing.T) {
+	analysistest.Run(t, "testdata/src/deterministic", deterministic.Analyzer)
+}

@@ -1,0 +1,20 @@
+// Package bench is off the gated path list: timing and ambient entropy are
+// its job, and the analyzer must stay silent here.
+package bench
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+func draw() int { return rand.Intn(10) }
+
+func keys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

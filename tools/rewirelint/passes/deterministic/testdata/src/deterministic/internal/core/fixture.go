@@ -1,0 +1,60 @@
+// Package core sits on a gated path suffix (internal/core), so every source
+// of ambient entropy below must be reported unless repaired or annotated.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in a seed-deterministic package"
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want "global rand.Intn in a seed-deterministic package"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle in a seed-deterministic package"
+}
+
+func seededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // seed ctors are the sanctioned path
+	return r.Intn(10)
+}
+
+func unsortedKeys(m map[int]string) []int {
+	var out []int
+	for k := range m { // want "map iteration order is randomized"
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedKeys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func countOnly(m map[int]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func annotatedCollect(m map[int]string) []int {
+	var out []int
+	//rewirelint:allow deterministic the consumer is an order-insensitive set-union
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

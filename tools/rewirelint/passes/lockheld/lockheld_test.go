@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"rewire/tools/rewirelint/analysistest"
+	"rewire/tools/rewirelint/passes/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	analysistest.Run(t, "testdata/src/lockheld", lockheld.Analyzer)
+}

@@ -1,0 +1,3 @@
+module lockheldfix
+
+go 1.24

@@ -1,0 +1,138 @@
+// Package sentinel keeps the SDK's typed error contract honest. PR 3
+// introduced sentinel errors (ErrBudgetExhausted, ErrDisconnected, ...) so
+// callers can program against failure classes; that contract survives only
+// if every layer wraps with %w (so the sentinel stays reachable through
+// fmt.Errorf chains) and every test is errors.Is (so wrapping never breaks a
+// caller). The analyzer reports:
+//
+//   - comparing an error against a sentinel with == or != (use errors.Is;
+//     one wrapped return anywhere in the chain makes == silently false);
+//   - switching on an error value with sentinel case arms (same bug in
+//     switch clothing);
+//   - fmt.Errorf with an error argument but no %w verb — the context is
+//     kept but the error's identity is amputated.
+//
+// A sentinel is any package-level error variable whose name starts with
+// "Err". io.EOF is exempt from the comparison rule: the io contract
+// guarantees it is returned unwrapped, and == is its documented idiom.
+package sentinel
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"rewire/tools/rewirelint/analysis"
+	"rewire/tools/rewirelint/internal/lintutil"
+)
+
+// Analyzer reports sentinel-error misuse.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinel",
+	Doc:  "error sentinels must be wrapped with %w and tested with errors.Is, never ==",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				checkCompare(pass, x)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, x)
+			case *ast.CallExpr:
+				checkErrorf(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCompare flags err == ErrSentinel / err != ErrSentinel.
+func checkCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, e := range []ast.Expr{be.X, be.Y} {
+		if name, ok := sentinelVar(pass.TypesInfo, e); ok {
+			pass.Reportf(be.Pos(), "%s compared with %s; use errors.Is so wrapped errors still match", name, be.Op)
+			return
+		}
+	}
+}
+
+// checkSwitch flags switch err { case ErrSentinel: } arms.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	t, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || !lintutil.IsErrorType(t.Type) {
+		return
+	}
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name, ok := sentinelVar(pass.TypesInfo, e); ok {
+				pass.Reportf(e.Pos(), "switch case compares %s by identity; use errors.Is in an if/else chain", name)
+			}
+		}
+	}
+}
+
+// checkErrorf flags fmt.Errorf calls that swallow an error argument without
+// a %w verb.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := lintutil.Callee(pass.TypesInfo, call)
+	if !lintutil.IsPkgFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	// Escaped %% must not hide or fabricate a %w.
+	if strings.Contains(strings.ReplaceAll(format, "%%", ""), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t, ok := pass.TypesInfo.Types[arg]
+		if ok && t.Type != nil && lintutil.IsErrorType(t.Type) && !t.IsNil() {
+			pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w; the cause becomes unreachable to errors.Is")
+			return
+		}
+	}
+}
+
+// sentinelVar reports whether e names a package-level error variable whose
+// name starts with Err (io.EOF exempt), returning a display name.
+func sentinelVar(info *types.Info, e ast.Expr) (string, bool) {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	default:
+		return "", false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || !lintutil.IsErrorType(v.Type()) {
+		return "", false
+	}
+	return v.Name(), true
+}

@@ -1,0 +1,12 @@
+package sentinel_test
+
+import (
+	"testing"
+
+	"rewire/tools/rewirelint/analysistest"
+	"rewire/tools/rewirelint/passes/sentinel"
+)
+
+func TestSentinel(t *testing.T) {
+	analysistest.Run(t, "testdata/src/sentinel", sentinel.Analyzer)
+}

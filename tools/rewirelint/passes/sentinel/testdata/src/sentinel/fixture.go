@@ -1,0 +1,62 @@
+// Package sentinelfix seeds every sentinel-error misuse next to the
+// errors.Is/%w forms that keep the typed-error contract intact.
+package sentinelfix
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBudget mimics the SDK's sentinel errors (ErrBudgetExhausted, ...).
+var ErrBudget = errors.New("budget exhausted")
+
+func compareEq(err error) bool {
+	return err == ErrBudget // want "ErrBudget compared with ==; use errors.Is"
+}
+
+func compareNeq(err error) bool {
+	return err != ErrBudget // want "ErrBudget compared with !="
+}
+
+func compareIs(err error) bool {
+	return errors.Is(err, ErrBudget)
+}
+
+func compareEOF(err error) bool {
+	return err == io.EOF // io contract: EOF is returned unwrapped; == is its idiom
+}
+
+func compareNil(err error) bool {
+	return err != nil // nil checks are not sentinel comparisons
+}
+
+func classify(err error) string {
+	switch err {
+	case ErrBudget: // want "switch case compares ErrBudget by identity"
+		return "budget"
+	default:
+		return "other"
+	}
+}
+
+func wrapLossy(err error) error {
+	return fmt.Errorf("query failed: %v", err) // want "fmt.Errorf formats an error without %w"
+}
+
+func wrapKept(err error) error {
+	return fmt.Errorf("query failed: %w", err)
+}
+
+func wrapEscaped(err error) error {
+	return fmt.Errorf("100%% of retries failed: %w", err)
+}
+
+func wrapNoError(v int) error {
+	return fmt.Errorf("bad value %d", v)
+}
+
+func annotatedIdentity(err error) bool {
+	//rewirelint:allow sentinel comparing an in-package return that is never wrapped, by construction
+	return err == ErrBudget
+}

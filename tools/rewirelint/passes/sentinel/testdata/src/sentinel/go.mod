@@ -1,0 +1,3 @@
+module sentinelfix
+
+go 1.24

@@ -1,0 +1,158 @@
+// Package runner drives a set of analyzers over loaded packages and applies
+// the //rewirelint:allow suppression grammar. It is the shared engine behind
+// cmd/rewirelint, the analysistest harness, and the repo's self-check test,
+// so all three agree exactly on what "clean" means.
+//
+// # Allow directives
+//
+// A finding is an error unless the offending line carries an explicit,
+// reasoned waiver:
+//
+//	//rewirelint:allow <analyzer> <reason...>
+//
+// The directive suppresses diagnostics of that one analyzer on the
+// directive's own line (trailing comment) and on the line directly below it
+// (standalone comment above the offending statement). The reason is
+// mandatory — an annotation that does not say why it exists is a future
+// bug report — and a directive naming an unknown analyzer or missing its
+// reason is itself reported, so the annotation inventory cannot rot.
+package runner
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"rewire/tools/rewirelint/analysis"
+	"rewire/tools/rewirelint/loader"
+)
+
+// DirectivePrefix introduces an allow annotation.
+const DirectivePrefix = "//rewirelint:allow"
+
+// Finding is one unsuppressed diagnostic, resolved to a file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding the way compilers do: file:line:col: message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// directive is one parsed //rewirelint:allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+	line     int
+	pos      token.Pos
+}
+
+// Run executes every analyzer over every package and returns the surviving
+// findings sorted by position. Analyzer errors (not diagnostics) abort.
+func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		dirs, malformed := collectDirectives(pkg, known)
+		findings = append(findings, malformed...)
+		for _, a := range analyzers {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("runner: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if allowed(dirs, a.Name, pos) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// collectDirectives parses every //rewirelint:allow comment in the package.
+// Malformed directives (unknown analyzer, missing reason) come back as
+// findings under the "rewirelint" pseudo-analyzer.
+func collectDirectives(pkg *loader.Package, known map[string]bool) (map[string][]directive, []Finding) {
+	dirs := make(map[string][]directive)
+	var malformed []Finding
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					malformed = append(malformed, Finding{
+						Analyzer: "rewirelint", Pos: pos,
+						Message: "malformed directive: want //rewirelint:allow <analyzer> <reason>",
+					})
+				case !known[fields[0]]:
+					malformed = append(malformed, Finding{
+						Analyzer: "rewirelint", Pos: pos,
+						Message: fmt.Sprintf("directive names unknown analyzer %q", fields[0]),
+					})
+				case len(fields) < 2:
+					malformed = append(malformed, Finding{
+						Analyzer: "rewirelint", Pos: pos,
+						Message: fmt.Sprintf("directive for %q is missing its reason", fields[0]),
+					})
+				default:
+					dirs[pos.Filename] = append(dirs[pos.Filename], directive{
+						analyzer: fields[0],
+						reason:   strings.Join(fields[1:], " "),
+						line:     pos.Line,
+						pos:      c.Pos(),
+					})
+				}
+			}
+		}
+	}
+	return dirs, malformed
+}
+
+// allowed reports whether a directive for analyzer covers pos: same line
+// (trailing comment) or the line above (standalone annotation).
+func allowed(dirs map[string][]directive, analyzer string, pos token.Position) bool {
+	for _, d := range dirs[pos.Filename] {
+		if d.analyzer == analyzer && (d.line == pos.Line || d.line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+package runner_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rewire/tools/rewirelint/loader"
+	"rewire/tools/rewirelint/runner"
+	"rewire/tools/rewirelint/suite"
+)
+
+// TestMalformedDirectives pins the allow-directive grammar: a directive with
+// no analyzer, an unknown analyzer, or a missing reason is itself a finding
+// under the "rewirelint" pseudo-analyzer; a well-formed directive is not.
+func TestMalformedDirectives(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "directives"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings, err := runner.Run(pkgs, suite.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	wants := []string{
+		"malformed directive: want //rewirelint:allow <analyzer> <reason>",
+		`directive names unknown analyzer "nosuchanalyzer"`,
+		`directive for "ctxflow" is missing its reason`,
+	}
+	if len(findings) != len(wants) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(findings), len(wants), findings)
+	}
+	for i, want := range wants {
+		if findings[i].Analyzer != "rewirelint" {
+			t.Errorf("finding %d: analyzer %q, want %q", i, findings[i].Analyzer, "rewirelint")
+		}
+		if !strings.Contains(findings[i].Message, want) {
+			t.Errorf("finding %d: message %q does not contain %q", i, findings[i].Message, want)
+		}
+	}
+}

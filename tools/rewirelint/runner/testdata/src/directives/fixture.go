@@ -1,0 +1,15 @@
+// Package directivesfix carries one of each malformed //rewirelint:allow
+// spelling, so the runner's directive grammar is pinned by test.
+package directivesfix
+
+//rewirelint:allow
+func missingAnalyzer() {}
+
+//rewirelint:allow nosuchanalyzer the analyzer name is wrong
+func unknownAnalyzer() {}
+
+//rewirelint:allow ctxflow
+func missingReason() {}
+
+//rewirelint:allow ctxflow a well-formed directive is not a finding, even with nothing to suppress
+func wellFormed() {}

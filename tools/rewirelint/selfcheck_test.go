@@ -1,0 +1,57 @@
+package rewirelint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rewire/tools/rewirelint/loader"
+	"rewire/tools/rewirelint/runner"
+	"rewire/tools/rewirelint/suite"
+)
+
+// TestRepoIsClean is the meta-test the CI analyze job mirrors: the whole
+// repository, examples and commands included, must pass the full analyzer
+// suite with zero findings. Every deliberate exception in the repo is
+// therefore a visible, reasoned //rewirelint:allow annotation — an
+// unannotated violation anywhere fails this test before it fails review.
+func TestRepoIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages for the repo")
+	}
+	findings, err := runner.Run(pkgs, suite.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("repo has %d rewirelint finding(s); fix them or annotate with //rewirelint:allow <analyzer> <reason>", len(findings))
+	}
+}
+
+// TestSuiteNames pins the analyzer set: CI docs, README, and allow
+// annotations all reference these names.
+func TestSuiteNames(t *testing.T) {
+	want := []string{"lockheld", "ctxflow", "deterministic", "sentinel", "aliasing"}
+	all := suite.All()
+	if len(all) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package suite enumerates the rewirelint analyzers in their canonical
+// order. cmd/rewirelint, the self-check test, and CI all consume this one
+// list, so an analyzer added here is everywhere at once.
+package suite
+
+import (
+	"rewire/tools/rewirelint/analysis"
+	"rewire/tools/rewirelint/passes/aliasing"
+	"rewire/tools/rewirelint/passes/ctxflow"
+	"rewire/tools/rewirelint/passes/deterministic"
+	"rewire/tools/rewirelint/passes/lockheld"
+	"rewire/tools/rewirelint/passes/sentinel"
+)
+
+// All returns every analyzer in the suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lockheld.Analyzer,
+		ctxflow.Analyzer,
+		deterministic.Analyzer,
+		sentinel.Analyzer,
+		aliasing.Analyzer,
+	}
+}
