@@ -1,0 +1,306 @@
+package rewire_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"rewire"
+)
+
+// runInterrupted streams from s until at least pauseAfter samples arrived,
+// then pauses and drains; it returns everything delivered (possibly a few
+// samples more than pauseAfter — the walkers finish their in-flight steps)
+// and asserts the run ended with ErrPaused.
+func runInterrupted(t *testing.T, s *rewire.Session, total, pauseAfter int) []rewire.Sample {
+	t.Helper()
+	var got []rewire.Sample
+	var finalErr error
+	for smp, err := range s.Stream(context.Background(), total) {
+		if err != nil {
+			finalErr = err
+			break
+		}
+		got = append(got, smp)
+		if len(got) == pauseAfter {
+			s.Pause()
+		}
+	}
+	if !errors.Is(finalErr, rewire.ErrPaused) {
+		t.Fatalf("interrupted run ended with %v, want ErrPaused", finalErr)
+	}
+	if !errors.Is(s.Err(), rewire.ErrPaused) {
+		t.Fatalf("Err() after pause = %v, want ErrPaused", s.Err())
+	}
+	if len(got) >= total {
+		t.Fatalf("pause delivered the whole budget (%d samples): nothing left to resume", len(got))
+	}
+	return got
+}
+
+// TestCheckpointResumeByteIdentical is the satellite's acceptance bar: for
+// every algorithm, pausing mid-run, checkpointing, and resuming in a fresh
+// session yields exactly the trajectory — node for node, weight for weight —
+// that the uninterrupted run produces. Single-walker sessions, because a
+// racing fleet's merged arrival order is nondeterministic by design.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	algs := []rewire.Algorithm{rewire.AlgMTO, rewire.AlgSRW, rewire.AlgMHRW, rewire.AlgRJ}
+	const total, pauseAfter = 400, 150
+	for _, alg := range algs {
+		t.Run(alg.String(), func(t *testing.T) {
+			g := rewire.Barbell(12)
+			opts := []rewire.Option{rewire.WithAlgorithm(alg), rewire.WithSeed(7)}
+
+			ref, err := rewire.NewSession(rewire.GraphSource(g), opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.Samples(context.Background(), total)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			s1, err := rewire.NewSession(rewire.GraphSource(g), opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runInterrupted(t, s1, total, pauseAfter)
+
+			data, err := s1.Checkpoint(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := rewire.Resume(context.Background(), data, rewire.WithSource(rewire.GraphSource(g)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1, a1 := s1.Rewired(); true {
+				if r2, a2 := s2.Rewired(); r1 != r2 || a1 != a2 {
+					t.Fatalf("resumed overlay delta (%d,%d) != paused (%d,%d)", r2, a2, r1, a1)
+				}
+			}
+			rest, err := s2.Samples(context.Background(), total-len(got))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, rest...)
+
+			if len(got) != len(want) {
+				t.Fatalf("interrupted+resumed drew %d samples, uninterrupted %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s trajectory diverges at sample %d: got %+v, want %+v (pause at %d)",
+						alg, i, got[i], want[i], pauseAfter)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointBytesDeterministic: the same paused session checkpoints to
+// the same bytes, and a resumed-but-not-yet-run session re-checkpoints to
+// those bytes too — the envelope is state, not history.
+func TestCheckpointBytesDeterministic(t *testing.T) {
+	g := rewire.Barbell(10)
+	s, err := rewire.NewSession(rewire.GraphSource(g), rewire.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Samples(context.Background(), 200); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Checkpoint(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Checkpoint(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two checkpoints of the same paused session differ")
+	}
+	r, err := rewire.Resume(context.Background(), a, rewire.WithSource(rewire.GraphSource(g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.Checkpoint(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("resume round-trip changed the checkpoint bytes")
+	}
+}
+
+func checkpointedSession(t *testing.T) (data []byte, g *rewire.Graph) {
+	t.Helper()
+	g = rewire.Barbell(8)
+	s, err := rewire.NewSession(rewire.GraphSource(g), rewire.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Samples(context.Background(), 50); err != nil {
+		t.Fatal(err)
+	}
+	data, err = s.Checkpoint(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, g
+}
+
+func TestResumeRejectsVersionSkew(t *testing.T) {
+	data, g := checkpointedSession(t)
+	var env map[string]any
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	env["rewire_checkpoint"] = 99
+	skewed, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rewire.Resume(context.Background(), skewed, rewire.WithSource(rewire.GraphSource(g))); !errors.Is(err, rewire.ErrCheckpointVersion) {
+		t.Fatalf("version 99 resumed with err = %v, want ErrCheckpointVersion", err)
+	}
+	// A JSON document that is not a checkpoint at all has version 0.
+	if _, err := rewire.Resume(context.Background(), []byte(`{}`), rewire.WithSource(rewire.GraphSource(g))); !errors.Is(err, rewire.ErrCheckpointVersion) {
+		t.Fatalf("non-checkpoint JSON resumed with err = %v, want ErrCheckpointVersion", err)
+	}
+	if _, err := rewire.Resume(context.Background(), []byte(`not json`), rewire.WithSource(rewire.GraphSource(g))); err == nil {
+		t.Fatal("malformed bytes resumed")
+	}
+}
+
+func TestResumeGuardsChainDefiningOptions(t *testing.T) {
+	data, g := checkpointedSession(t)
+	src := rewire.WithSource(rewire.GraphSource(g))
+	cases := []struct {
+		name string
+		opts []rewire.Option
+		want string
+	}{
+		{"no source", nil, "WithSource"},
+		{"change algorithm", []rewire.Option{src, rewire.WithAlgorithm(rewire.AlgSRW)}, "algorithm"},
+		{"change fleet", []rewire.Option{src, rewire.WithFleet(4)}, "fleet"},
+		{"change starts", []rewire.Option{src, rewire.WithStarts(0, 1)}, "fleet"},
+		{"reseed", []rewire.Option{src, rewire.WithSeed(99)}, "reseed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := rewire.Resume(context.Background(), data, tc.opts...)
+			if err == nil {
+				t.Fatal("Resume accepted a chain-changing option")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+	// Operational options stay allowed.
+	if _, err := rewire.Resume(context.Background(), data, src, rewire.WithStoreShards(4)); err != nil {
+		t.Fatalf("operational option rejected: %v", err)
+	}
+}
+
+func TestCheckpointDuringRunIsRefused(t *testing.T) {
+	g := rewire.Barbell(8)
+	s, err := rewire.NewSession(rewire.GraphSource(g), rewire.WithAlgorithm(rewire.AlgSRW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := false
+	for range s.Nodes(context.Background(), 20) {
+		if !checked {
+			checked = true
+			if _, err := s.Checkpoint(context.Background()); !errors.Is(err, rewire.ErrActiveStream) {
+				t.Fatalf("Checkpoint mid-run = %v, want ErrActiveStream", err)
+			}
+		}
+	}
+	if !checked {
+		t.Fatal("stream yielded nothing")
+	}
+}
+
+// TestPauseLeavesSessionReusable: ErrPaused is a clean stop — the same
+// session streams again without a checkpoint round-trip, and the pause
+// request does not leak into the next run.
+func TestPauseLeavesSessionReusable(t *testing.T) {
+	g := rewire.Barbell(8)
+	s, err := rewire.NewSession(rewire.GraphSource(g), rewire.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = runInterrupted(t, s, 200, 40)
+	after, err := s.Samples(context.Background(), 50)
+	if err != nil {
+		t.Fatalf("post-pause run failed: %v", err)
+	}
+	if len(after) != 50 {
+		t.Fatalf("post-pause run drew %d samples, want 50", len(after))
+	}
+	if s.Err() != nil {
+		t.Fatalf("clean post-pause run left Err = %v", s.Err())
+	}
+}
+
+// TestPauseWithNewSessionEquivalence: pausing and continuing IN PLACE (no
+// serialization) must equal the uninterrupted run too — the cheaper of the
+// two resume paths a service uses.
+func TestPauseInPlaceContinuationByteIdentical(t *testing.T) {
+	g := rewire.Barbell(12)
+	ref, err := rewire.NewSession(rewire.GraphSource(g), rewire.WithAlgorithm(rewire.AlgMHRW), rewire.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Samples(context.Background(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := rewire.NewSession(rewire.GraphSource(g), rewire.WithAlgorithm(rewire.AlgMHRW), rewire.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runInterrupted(t, s, 300, 100)
+	rest, err := s.Samples(context.Background(), 300-len(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, rest...)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("in-place continuation diverges at sample %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOpenBackendUnknownDriverError(t *testing.T) {
+	_, err := rewire.OpenBackend(context.Background(), "nosuch:thing")
+	if !errors.Is(err, rewire.ErrUnknownDriver) {
+		t.Fatalf("err = %v, want ErrUnknownDriver", err)
+	}
+	if !errors.Is(err, rewire.ErrUnknownScheme) { // deprecated alias keeps matching
+		t.Fatalf("err = %v does not match legacy ErrUnknownScheme", err)
+	}
+	var ude *rewire.UnknownDriverError
+	if !errors.As(err, &ude) {
+		t.Fatalf("err %T is not *UnknownDriverError", err)
+	}
+	if ude.Scheme != "nosuch" || ude.URL != "nosuch:thing" || len(ude.Drivers) == 0 {
+		t.Fatalf("UnknownDriverError fields = %+v", ude)
+	}
+	for i := 1; i < len(ude.Drivers); i++ {
+		if ude.Drivers[i-1] >= ude.Drivers[i] {
+			t.Fatalf("driver list not sorted: %v", ude.Drivers)
+		}
+	}
+	if _, err := rewire.OpenBackend(context.Background(), "noscheme"); !errors.Is(err, rewire.ErrUnknownDriver) {
+		t.Fatalf("scheme-less URL err = %v, want ErrUnknownDriver", err)
+	}
+}

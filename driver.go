@@ -91,25 +91,38 @@ func Drivers() []string {
 // prefetch-capable Source every backend gets for free. Close the Provider
 // when done; backends holding resources (snapshot mappings, HTTP
 // connections) release them there.
+//
+// An unresolvable scheme fails with an *UnknownDriverError (class
+// ErrUnknownDriver) naming the scheme and the registered alternatives.
 func Open(ctx context.Context, rawURL string) (*Provider, error) {
+	be, err := OpenBackend(ctx, rawURL)
+	if err != nil {
+		return nil, err
+	}
+	return BackendSource(be), nil
+}
+
+// OpenBackend is Open without the Provider wrapping: it resolves rawURL's
+// scheme and returns the raw Backend the driver produced. Use it to compose
+// middleware (WithRetry, WithRateLimit, WithMetrics) around the backend
+// before building the Provider yourself with BackendSource — the layering a
+// multi-tenant service needs, where one shared Provider per URL carries
+// service-wide rate limits and metrics underneath every tenant.
+func OpenBackend(ctx context.Context, rawURL string) (Backend, error) {
 	u, err := url.Parse(rawURL)
 	if err != nil {
 		return nil, fmt.Errorf("rewire: parsing %q: %w", rawURL, err)
 	}
 	if u.Scheme == "" {
-		return nil, fmt.Errorf("%w: %q has no scheme (want e.g. mem:, sim:, http://, snapshot:)", ErrUnknownScheme, rawURL)
+		return nil, &UnknownDriverError{URL: rawURL, Drivers: Drivers()}
 	}
 	driversMu.RLock()
 	d, ok := drivers[u.Scheme]
 	driversMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownScheme, u.Scheme, Drivers())
+		return nil, &UnknownDriverError{Scheme: u.Scheme, URL: rawURL, Drivers: Drivers()}
 	}
-	be, err := d.Open(ctx, u)
-	if err != nil {
-		return nil, err
-	}
-	return BackendSource(be), nil
+	return d.Open(ctx, u)
 }
 
 func init() {

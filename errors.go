@@ -2,6 +2,7 @@ package rewire
 
 import (
 	"errors"
+	"fmt"
 
 	"rewire/internal/osn"
 )
@@ -32,7 +33,53 @@ var (
 	// does not rewire (anything but AlgMTO).
 	ErrNoOverlay = errors.New("rewire: session has no rewired overlay")
 
-	// ErrUnknownScheme reports an Open URL whose scheme has no registered
-	// driver (see Register and Drivers).
-	ErrUnknownScheme = errors.New("rewire: no driver registered for scheme")
+	// ErrUnknownDriver reports an Open URL whose scheme has no registered
+	// driver. The concrete error is an *UnknownDriverError carrying the
+	// scheme, the offending URL, and the registered scheme list; match the
+	// class with errors.Is(err, ErrUnknownDriver) and recover the details
+	// with errors.As.
+	ErrUnknownDriver = errors.New("rewire: no driver registered for scheme")
+
+	// ErrPaused reports a run that stopped because Session.Pause asked it to:
+	// the walkers quiesced at a step boundary and the session is ready to be
+	// checkpointed (Session.Checkpoint) or streamed again. It is a clean,
+	// expected stop — callers that treat it as a failure are mistaken.
+	ErrPaused = errors.New("rewire: session paused")
+
+	// ErrCheckpointVersion reports Resume bytes whose envelope version this
+	// build does not speak — produced by an incompatible (usually newer)
+	// rewire, or not a rewire checkpoint at all.
+	ErrCheckpointVersion = errors.New("rewire: unsupported checkpoint version")
 )
+
+// ErrUnknownScheme is the historical name of ErrUnknownDriver, kept so
+// existing errors.Is checks keep matching.
+//
+// Deprecated: use ErrUnknownDriver.
+var ErrUnknownScheme = ErrUnknownDriver
+
+// UnknownDriverError is the concrete error Open and OpenBackend return for a
+// URL whose scheme resolves to no registered driver. It wraps
+// ErrUnknownDriver (and therefore also matches the deprecated
+// ErrUnknownScheme), and carries enough context to render an actionable
+// message: which scheme failed, in which URL, and which schemes would have
+// worked.
+type UnknownDriverError struct {
+	// Scheme is the unresolvable scheme ("" when the URL had none at all).
+	Scheme string
+	// URL is the raw URL passed to Open.
+	URL string
+	// Drivers lists the registered schemes, sorted — the valid alternatives.
+	Drivers []string
+}
+
+// Error implements error.
+func (e *UnknownDriverError) Error() string {
+	if e.Scheme == "" {
+		return fmt.Sprintf("%v: %q has no scheme (registered: %v)", ErrUnknownDriver, e.URL, e.Drivers)
+	}
+	return fmt.Sprintf("%v: %q in %q (registered: %v)", ErrUnknownDriver, e.Scheme, e.URL, e.Drivers)
+}
+
+// Unwrap makes errors.Is(err, ErrUnknownDriver) match.
+func (e *UnknownDriverError) Unwrap() error { return ErrUnknownDriver }

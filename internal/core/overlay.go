@@ -367,6 +367,63 @@ func (o *Overlay) IsAdded(u, v graph.NodeID) bool {
 	return o.added.Contains(graph.KeyOf(u, v))
 }
 
+// Delta captures the overlay's complete rewiring state — removed edges,
+// added edges, and the pivots already spent on Theorem 4 replacements — as
+// sorted slices, suitable for serializing into a session checkpoint. The
+// pivot set matters for byte-identical resumption: whether a pivot is still
+// available decides whether the sampler draws its replacement coin at all,
+// so losing it would desynchronize the RNG stream from an uninterrupted run.
+func (o *Overlay) Delta() (removed, added []graph.EdgeKey, pivots []graph.NodeID) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	removed = o.removed.Keys()
+	added = o.added.Keys()
+	pivots = make([]graph.NodeID, 0, len(o.usedPivots))
+	for p := range o.usedPivots {
+		pivots = append(pivots, p)
+	}
+	slices.Sort(removed)
+	slices.Sort(added)
+	slices.Sort(pivots)
+	return removed, added, pivots
+}
+
+// RestoreDelta installs a delta captured with Delta into a fresh overlay —
+// the resume half of session checkpointing. It writes the sets and their
+// adjacency mirrors directly, so restoration issues no base queries (the
+// public mutators consult base neighborhoods, which over a cold provider
+// would spend budget). Call it only on an empty overlay, before any walker
+// runs; the materialized-list cache is dropped so lists rebuild lazily.
+func (o *Overlay) RestoreDelta(removed, added []graph.EdgeKey, pivots []graph.NodeID) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, k := range removed {
+		if o.removed.Contains(k) {
+			continue
+		}
+		u, v := k.Nodes()
+		o.removed.Put(k, struct{}{})
+		o.removedAdj[u] = append(o.removedAdj[u], v)
+		o.removedAdj[v] = append(o.removedAdj[v], u)
+		o.lists.Delete(u)
+		o.lists.Delete(v)
+	}
+	for _, k := range added {
+		if o.added.Contains(k) {
+			continue
+		}
+		u, v := k.Nodes()
+		o.added.Put(k, struct{}{})
+		o.addedAdj[u] = append(o.addedAdj[u], v)
+		o.addedAdj[v] = append(o.addedAdj[v], u)
+		o.lists.Delete(u)
+		o.lists.Delete(v)
+	}
+	for _, p := range pivots {
+		o.usedPivots[p] = struct{}{}
+	}
+}
+
 // RemovedEdges returns the keys of all removed edges (order unspecified).
 // Useful for reconstructing overlay degrees against a local copy of the
 // base graph without touching the query budget.

@@ -231,6 +231,18 @@ func (c overlayDegreeCache) CachedDegree(v graph.NodeID) (int, bool) {
 // Current returns the walk position.
 func (s *Sampler) Current() graph.NodeID { return s.cur }
 
+// SetCurrent repositions the walk (between runs only).
+func (s *Sampler) SetCurrent(v graph.NodeID) { s.cur = v }
+
+// RandState captures the sampler's RNG stream for checkpointing. Together
+// with the overlay delta (Overlay.Delta) it is the sampler's complete
+// trajectory-determining state: the verdict cache and scratch buffer only
+// memoize deterministic recomputation and never touch the stream.
+func (s *Sampler) RandState() [4]uint64 { return s.rng.State() }
+
+// SetRandState restores a stream captured with RandState.
+func (s *Sampler) SetRandState(st [4]uint64) { s.rng.SetState(st) }
+
 // Overlay exposes the evolving rewired topology.
 func (s *Sampler) Overlay() *Overlay { return s.ov }
 
@@ -486,6 +498,7 @@ func WalkToCoverage(s *Sampler, n, maxSteps int) (visited int, ok bool) {
 var (
 	_ walk.Walker         = (*Sampler)(nil)
 	_ walk.Weighter       = (*Sampler)(nil)
+	_ walk.StateCarrier   = (*Sampler)(nil)
 	_ walk.Source         = (*Overlay)(nil)
 	_ walk.PrefetchSource = (*Overlay)(nil)
 )

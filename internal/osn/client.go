@@ -25,6 +25,13 @@ type inflight struct {
 	// commit time stays speculative and does not touch the unique-query
 	// ledger.
 	demand int
+	// tenant names the account the fetch's reservation — and, at commit, its
+	// unique-query bill — belongs to: the FIRST demander's tenant (the one
+	// whose arrival turned a free fetch into a billable one). Later
+	// coalescers ride along unbilled, exactly as cache hits do. Guarded by
+	// the user's shard lock, like demand; rewritten if demand returns to
+	// zero and a new first demander claims the fetch.
+	tenant string
 }
 
 // nodeState is everything the client knows about one user, stored as a single
@@ -67,6 +74,41 @@ type ledger struct {
 	// CacheSize is O(1) and the billing invariant unique + speculative ==
 	// size is checkable at a glance.
 	size int64
+	// tenants splits unique and reserved by tenant attribution (see
+	// WithTenant); "" is the anonymous tenant. The split is exact, never a
+	// sample: every unique++ above is mirrored on exactly one tenant, so
+	// Σ tenants[*].unique == unique at every instant the mutex is free.
+	tenants map[string]*tenantLedger
+}
+
+// tenantLedger is one tenant's slice of the ledger: its billed and reserved
+// demand queries, and its optional private budget.
+type tenantLedger struct {
+	unique   int64
+	reserved int64
+	// budget caps this tenant's unique demand queries when positive,
+	// independently of (and in addition to) the client-wide budget.
+	budget int64
+}
+
+// tenantLocked returns (allocating on first touch) the named tenant's
+// ledger slice. Callers hold led.mu.
+func (l *ledger) tenantLocked(name string) *tenantLedger {
+	if l.tenants == nil {
+		l.tenants = make(map[string]*tenantLedger)
+	}
+	t := l.tenants[name]
+	if t == nil {
+		t = &tenantLedger{}
+		l.tenants[name] = t
+	}
+	return t
+}
+
+// overTenantBudgetLocked is overBudgetLocked for one tenant's private cap.
+// Callers hold led.mu.
+func (l *ledger) overTenantBudgetLocked(t *tenantLedger) bool {
+	return t.budget > 0 && t.unique+t.reserved >= t.budget
 }
 
 // overBudgetLocked reports whether committing to one more unique query —
@@ -202,6 +244,9 @@ func (c *Client) QueryContext(ctx context.Context, v graph.NodeID) (Response, er
 	if err := ctx.Err(); err != nil {
 		return Response{}, err
 	}
+	// Tenant attribution is read from ctx BEFORE any lock: the billing
+	// branches below run under a shard lock and the ledger mutex.
+	tn := TenantFrom(ctx)
 	var (
 		resp    Response
 		retErr  error
@@ -214,15 +259,18 @@ func (c *Client) QueryContext(ctx context.Context, v graph.NodeID) (Response, er
 		switch {
 		case ok && st.cached:
 			if st.speculative {
-				// First demand touch of a prefetched response: bill it now.
+				// First demand touch of a prefetched response: bill it now,
+				// to the tenant whose demand consumed the speculation.
 				c.led.mu.Lock()
-				if c.led.overBudgetLocked() {
+				tl := c.led.tenantLocked(tn)
+				if c.led.overBudgetLocked() || c.led.overTenantBudgetLocked(tl) {
 					c.led.mu.Unlock()
 					retErr = ErrBudgetExhausted
 					settled = true
 					return
 				}
 				c.led.unique++
+				tl.unique++
 				c.led.speculative--
 				c.led.mu.Unlock()
 				st.speculative = false
@@ -234,12 +282,14 @@ func (c *Client) QueryContext(ctx context.Context, v graph.NodeID) (Response, er
 			// Someone else — a sibling walker or the prefetch pool — is
 			// already fetching v: register demand so commit bills it, then
 			// wait for the shared round-trip. Budget is consulted (and a
-			// reservation taken) only when this is the fetch's FIRST demand;
-			// coalescing onto an already-demanded fetch costs nothing.
+			// reservation taken, on the global ledger and on this tenant's)
+			// only when this is the fetch's FIRST demand; coalescing onto an
+			// already-demanded fetch costs nothing — for anyone.
 			f = st.flight
 			if f.demand == 0 {
 				c.led.mu.Lock()
-				if c.led.overBudgetLocked() {
+				tl := c.led.tenantLocked(tn)
+				if c.led.overBudgetLocked() || c.led.overTenantBudgetLocked(tl) {
 					c.led.mu.Unlock()
 					f = nil
 					retErr = ErrBudgetExhausted
@@ -247,20 +297,24 @@ func (c *Client) QueryContext(ctx context.Context, v graph.NodeID) (Response, er
 					return
 				}
 				c.led.reserved++
+				tl.reserved++
 				c.led.mu.Unlock()
+				f.tenant = tn
 			}
 			f.demand++
 		default:
 			c.led.mu.Lock()
-			if c.led.overBudgetLocked() {
+			tl := c.led.tenantLocked(tn)
+			if c.led.overBudgetLocked() || c.led.overTenantBudgetLocked(tl) {
 				c.led.mu.Unlock()
 				retErr = ErrBudgetExhausted
 				settled = true
 				return
 			}
 			c.led.reserved++
+			tl.reserved++
 			c.led.mu.Unlock()
-			f = &inflight{done: make(chan struct{}), demand: 1}
+			f = &inflight{done: make(chan struct{}), demand: 1, tenant: tn}
 			owner = true
 			s.Put(v, nodeState{flight: f})
 		}
@@ -291,8 +345,13 @@ func (c *Client) QueryContext(ctx context.Context, v graph.NodeID) (Response, er
 			if st, ok := s.Get(v); ok && st.flight == f {
 				f.demand--
 				if f.demand == 0 {
+					// Last demander gone: release the reservation — from the
+					// fetch's billing tenant, who may differ from this waiter
+					// (the first demander could have withdrawn earlier while
+					// others kept the fetch demanded).
 					c.led.mu.Lock()
-					c.led.reserved-- // last demander gone: release the reservation
+					c.led.reserved--
+					c.led.tenantLocked(f.tenant).reserved--
 					c.led.mu.Unlock()
 				}
 				withdrawn = true
@@ -318,11 +377,15 @@ func (c *Client) commit(v graph.NodeID, f *inflight) {
 	c.state.Locked(v, func(s store.LockedShard[graph.NodeID, nodeState]) {
 		c.led.mu.Lock()
 		if f.demand > 0 {
-			c.led.reserved-- // the reservation resolves here: into a bill or a retry
+			// The reservation resolves here — into a bill or a retry — on
+			// the global ledger and on the billing tenant's slice alike.
+			c.led.reserved--
+			c.led.tenantLocked(f.tenant).reserved--
 		}
 		if f.err == nil {
 			if f.demand > 0 {
 				c.led.unique++
+				c.led.tenantLocked(f.tenant).unique++
 			} else {
 				c.led.speculative++
 			}
@@ -523,4 +586,54 @@ func (c *Client) CacheSize() int {
 	c.led.mu.Lock()
 	defer c.led.mu.Unlock()
 	return int(c.led.size)
+}
+
+// TenantBill is one tenant's slice of the billing ledger (see WithTenant).
+type TenantBill struct {
+	// Unique is the tenant's demand-query bill: fetches whose FIRST demand
+	// came from this tenant, plus speculative responses this tenant's
+	// demand consumed. Cache hits and coalesced waits are free, so
+	// Σ all tenants' Unique == UniqueQueries exactly.
+	Unique int64
+	// Reserved counts the tenant's in-flight demanded fetches (each will
+	// bill one unique query if it commits successfully).
+	Reserved int64
+	// Budget is the tenant's private demand-query cap (0 = none). The
+	// client-wide budget still applies on top.
+	Budget int64
+}
+
+// TenantBill returns the named tenant's current ledger slice ("" is the
+// anonymous tenant — demand queries from contexts without WithTenant).
+func (c *Client) TenantBill(name string) TenantBill {
+	c.led.mu.Lock()
+	defer c.led.mu.Unlock()
+	t := c.led.tenants[name]
+	if t == nil {
+		return TenantBill{}
+	}
+	return TenantBill{Unique: t.unique, Reserved: t.reserved, Budget: t.budget}
+}
+
+// TenantBills returns every tenant's ledger slice, keyed by tenant name, as
+// a private copy consistent at one ledger instant.
+func (c *Client) TenantBills() map[string]TenantBill {
+	c.led.mu.Lock()
+	defer c.led.mu.Unlock()
+	out := make(map[string]TenantBill, len(c.led.tenants))
+	for name, t := range c.led.tenants {
+		out[name] = TenantBill{Unique: t.unique, Reserved: t.reserved, Budget: t.budget}
+	}
+	return out
+}
+
+// SetTenantBudget caps the named tenant's unique demand queries at n
+// (n <= 0 removes the cap). The tenant's demand path returns
+// ErrBudgetExhausted once its own bill reaches the cap, regardless of how
+// much client-wide budget remains — billing isolation's enforcement half.
+// Safe to raise mid-run to resume the tenant's exhausted jobs.
+func (c *Client) SetTenantBudget(name string, n int64) {
+	c.led.mu.Lock()
+	defer c.led.mu.Unlock()
+	c.led.tenantLocked(name).budget = n
 }

@@ -1,0 +1,26 @@
+package osn
+
+import "context"
+
+// tenantKey carries the tenant attribution name in a context.
+type tenantKey struct{}
+
+// WithTenant returns a context whose demand queries are attributed to the
+// named tenant in the client's per-tenant ledger. Attribution rides the
+// context — not the Client — so any number of tenants can share one client
+// (one cache, one singleflight, one global ledger) while their bills stay
+// separable: a multi-tenant service binds each job's context once and every
+// query the job issues lands on the right account.
+//
+// The empty name is the anonymous tenant: queries from contexts without an
+// attribution are accounted there, so the cross-tenant invariant
+// Σ TenantBill.Unique == UniqueQueries holds unconditionally.
+func WithTenant(ctx context.Context, name string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, name)
+}
+
+// TenantFrom returns the tenant name carried by ctx ("" when none).
+func TenantFrom(ctx context.Context) string {
+	name, _ := ctx.Value(tenantKey{}).(string)
+	return name
+}

@@ -48,6 +48,22 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64())
 }
 
+// State returns the generator's full internal state. Together with SetState
+// it makes a stream checkpointable: capture the state, serialize it, and a
+// generator restored from it continues the exact same sequence — the
+// property session checkpoints lean on for byte-identical resumed walks.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously captured with State. The all-zero
+// state is invalid for xoshiro and is replaced with a fixed nonzero word —
+// it can only arise from corrupted input, never from State().
+func (r *Rand) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 0x9e3779b97f4a7c15
+	}
+	r.s = s
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

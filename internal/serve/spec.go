@@ -1,0 +1,138 @@
+// Package serve is the multi-tenant sampling daemon behind cmd/rewire-serve:
+// a long-running HTTP/JSON service hosting any number of concurrent sampling
+// jobs over shared backends. Each backend URL gets exactly ONE Provider —
+// one cache, one singleflight, one global ledger — so every tenant's walk
+// warms every other tenant's cache, while the per-tenant ledger (see
+// rewire.WithTenant) keeps their bills exactly separable. Jobs stream their
+// samples incrementally as JSON lines, can be paused and resumed across
+// requests — and, via the state dir, across process restarts — and a
+// graceful drain checkpoints every live job at a step boundary, so a
+// redeploy never loses a trajectory.
+package serve
+
+import (
+	"fmt"
+
+	"rewire"
+)
+
+// JobSpec is the wire form of a sampling job: a JSON mirror of the SDK's
+// functional options plus the two serving-layer bindings (backend URL and
+// tenant). Zero values mean "SDK default" throughout, so the minimal spec is
+// just {"backend": "...", "samples": n}.
+type JobSpec struct {
+	// Backend is the driver URL the job samples from (mem:, sim:, http://,
+	// snapshot:, or any registered scheme). Jobs naming the same URL share
+	// one Provider — cache, ledger, rate limit, and all.
+	Backend string `json:"backend"`
+	// Tenant is the billing account the job's unique queries land on
+	// ("" = the anonymous tenant).
+	Tenant string `json:"tenant,omitempty"`
+	// Samples is the job's sample budget (default 1000).
+	Samples int `json:"samples,omitempty"`
+	// Algorithm is "MTO" (default), "SRW", "MHRW", or "RJ".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Fleet runs k concurrent walkers (default 1).
+	Fleet int `json:"fleet,omitempty"`
+	// Starts pins the walkers' start nodes (default: spread from the seed).
+	Starts []rewire.NodeID `json:"starts,omitempty"`
+	// Seed fixes the session RNG (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// JumpProb is AlgRJ's teleport probability (default 0.5).
+	JumpProb float64 `json:"jump_prob,omitempty"`
+	// Partitioned splits the sample budget per walker up front instead of
+	// racing for it (reproducible multi-walker trajectories).
+	Partitioned bool `json:"partitioned,omitempty"`
+	// Removal / Replacement / Extended toggle the MTO rewiring operations
+	// (nil = SDK default, i.e. all on).
+	Removal     *bool `json:"removal,omitempty"`
+	Replacement *bool `json:"replacement,omitempty"`
+	Extended    *bool `json:"extended,omitempty"`
+	// WeightMode is "overlay" (default), "exact", or "sampled".
+	WeightMode string `json:"weight_mode,omitempty"`
+	// Budget caps the TENANT's unique queries on this job's backend before
+	// the job starts (0 = leave the tenant's cap alone). It is a tenant
+	// property, not a job one — shorthand for POST /v1/tenants/{t}/budget.
+	Budget int64 `json:"budget,omitempty"`
+}
+
+// normalize fills defaults and validates everything that can be checked
+// without touching a backend.
+func (sp *JobSpec) normalize() error {
+	if sp.Backend == "" {
+		return fmt.Errorf("serve: job spec needs a backend URL")
+	}
+	if sp.Samples == 0 {
+		sp.Samples = 1000
+	}
+	if sp.Samples < 0 {
+		return fmt.Errorf("serve: job spec samples %d < 0", sp.Samples)
+	}
+	if sp.Algorithm == "" {
+		sp.Algorithm = rewire.AlgMTO.String()
+	}
+	if _, err := sp.algorithm(); err != nil {
+		return err
+	}
+	if _, err := sp.options(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (sp *JobSpec) algorithm() (rewire.Algorithm, error) {
+	for a := rewire.AlgMTO; a <= rewire.AlgRJ; a++ {
+		if a.String() == sp.Algorithm {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown algorithm %q (want MTO, SRW, MHRW, or RJ)", sp.Algorithm)
+}
+
+// options translates the spec into the SDK's functional options — the same
+// fold NewSession performs, so a job submitted over HTTP and a Session built
+// directly from the equivalent options run the identical chain (the
+// conformance tests pin this).
+func (sp *JobSpec) options() ([]rewire.Option, error) {
+	alg, err := sp.algorithm()
+	if err != nil {
+		return nil, err
+	}
+	opts := []rewire.Option{rewire.WithAlgorithm(alg)}
+	if sp.Fleet > 0 {
+		opts = append(opts, rewire.WithFleet(sp.Fleet))
+	}
+	if len(sp.Starts) > 0 {
+		opts = append(opts, rewire.WithStarts(sp.Starts...))
+	}
+	if sp.Seed != 0 {
+		opts = append(opts, rewire.WithSeed(sp.Seed))
+	}
+	if sp.JumpProb != 0 {
+		opts = append(opts, rewire.WithJumpProbability(sp.JumpProb))
+	}
+	if sp.Partitioned {
+		opts = append(opts, rewire.WithPartitionedBudget(true))
+	}
+	if sp.Removal != nil {
+		opts = append(opts, rewire.WithRemoval(*sp.Removal))
+	}
+	if sp.Replacement != nil {
+		opts = append(opts, rewire.WithReplacement(*sp.Replacement))
+	}
+	if sp.Extended != nil {
+		opts = append(opts, rewire.WithExtendedCriterion(*sp.Extended))
+	}
+	switch sp.WeightMode {
+	case "":
+	case "overlay":
+		opts = append(opts, rewire.WithWeightMode(rewire.WeightOverlayDegree))
+	case "exact":
+		opts = append(opts, rewire.WithWeightMode(rewire.WeightExact))
+	case "sampled":
+		opts = append(opts, rewire.WithWeightMode(rewire.WeightSampled))
+	default:
+		return nil, fmt.Errorf("serve: unknown weight mode %q (want overlay, exact, or sampled)", sp.WeightMode)
+	}
+	return opts, nil
+}

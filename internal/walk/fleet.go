@@ -37,6 +37,15 @@ type Sample struct {
 // concurrent use: osn.Client, osn.Service, and core.Overlay all are.
 type Fleet struct {
 	members []Walker
+	// quiesced requests a step-boundary stop of the active run: members
+	// finish (and deliver) their in-flight step, then retire before claiming
+	// another sample. Unlike context cancellation — which can abort a member
+	// mid-step, after its RNG stream advanced but before the sample was
+	// emitted — a quiesced stop leaves every member's chain state exactly
+	// consistent with the samples delivered, which is what makes a
+	// checkpoint taken afterwards resume byte-identically. Reset at the
+	// start of every run.
+	quiesced atomic.Bool
 }
 
 // NewFleet wraps the given walkers (at least one; an empty fleet panics —
@@ -131,9 +140,16 @@ func (f *Fleet) StreamPartitionedContext(ctx context.Context, total int) (sample
 	})
 }
 
+// Quiesce asks the active run to stop at the next step boundary: every
+// member finishes and delivers its in-flight step, then retires instead of
+// claiming another sample. The stream closes (without error) once the last
+// member exits. Between runs it is a no-op — each run resets the flag.
+func (f *Fleet) Quiesce() { f.quiesced.Store(true) }
+
 // launch starts one goroutine per member; claim(id) grants member id its
-// next sample (claims are never returned, even on early stop).
+// next sample (claims are never returned, even on early stop or quiesce).
 func (f *Fleet) launch(ctx context.Context, claim func(id int) bool) (samples <-chan Sample, stop func()) {
+	f.quiesced.Store(false)
 	out := make(chan Sample, len(f.members))
 	quit := make(chan struct{})
 	var quitOnce sync.Once
@@ -146,7 +162,7 @@ func (f *Fleet) launch(ctx context.Context, claim func(id int) bool) (samples <-
 			defer wg.Done()
 			weighter, _ := w.(Weighter)
 			failing, _ := w.(Failing)
-			for claim(id) {
+			for !f.quiesced.Load() && claim(id) {
 				select {
 				case <-quit:
 					return

@@ -230,6 +230,32 @@ func (w *Prefetched) Err() error {
 	return nil
 }
 
+// Inner returns the wrapped walker — the one carrying the chain state.
+func (w *Prefetched) Inner() Walker { return w.inner }
+
+// SetCurrent forwards to the inner walker's StateCarrier capability (a no-op
+// when the inner walker does not carry restorable state).
+func (w *Prefetched) SetCurrent(v graph.NodeID) {
+	if sc, ok := w.inner.(StateCarrier); ok {
+		sc.SetCurrent(v)
+	}
+}
+
+// RandState forwards to the inner walker's StateCarrier capability.
+func (w *Prefetched) RandState() [4]uint64 {
+	if sc, ok := w.inner.(StateCarrier); ok {
+		return sc.RandState()
+	}
+	return [4]uint64{}
+}
+
+// SetRandState forwards to the inner walker's StateCarrier capability.
+func (w *Prefetched) SetRandState(s [4]uint64) {
+	if sc, ok := w.inner.(StateCarrier); ok {
+		sc.SetRandState(s)
+	}
+}
+
 // Prefetched returns a new Fleet whose members issue prefetch hints through
 // strategies built by mk — one instance per member, because strategies are
 // single-goroutine state. The members themselves are shared with the

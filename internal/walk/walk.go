@@ -40,6 +40,23 @@ type Weighter interface {
 	StationaryWeight(v graph.NodeID) float64
 }
 
+// StateCarrier is the optional Walker capability of exposing its complete
+// per-member chain state — position plus RNG stream — for checkpointing.
+// A walker restored with SetCurrent + SetRandState continues the exact
+// sample sequence the original would have produced, which is what makes a
+// paused-then-resumed session trajectory byte-identical to an uninterrupted
+// one. All walkers in this repository implement it; wrappers (Prefetched)
+// forward it to the walker they wrap.
+type StateCarrier interface {
+	Walker
+	// SetCurrent repositions the walker. Call it only between runs.
+	SetCurrent(v graph.NodeID)
+	// RandState captures the walker's RNG stream state.
+	RandState() [4]uint64
+	// SetRandState restores a stream captured with RandState.
+	SetRandState(s [4]uint64)
+}
+
 // Simple is the paper's baseline SRW: from u, move to a uniformly random
 // neighbor. Its stationary distribution is π(v) = deg(v)/2|E| on the
 // component of the start node. A node with no neighbors is absorbing (the
@@ -74,6 +91,15 @@ func (w *Simple) StationaryWeight(v graph.NodeID) float64 {
 
 // Err reports the source's sticky failure, if the source tracks one.
 func (w *Simple) Err() error { return sourceErr(w.src) }
+
+// SetCurrent repositions the walk (between runs only).
+func (w *Simple) SetCurrent(v graph.NodeID) { w.cur = v }
+
+// RandState captures the walker's RNG stream.
+func (w *Simple) RandState() [4]uint64 { return w.rng.State() }
+
+// SetRandState restores a stream captured with RandState.
+func (w *Simple) SetRandState(s [4]uint64) { w.rng.SetState(s) }
 
 // MetropolisHastings is the MHRW sampler with a uniform target
 // distribution: propose a uniform neighbor v of u, accept with probability
@@ -122,6 +148,15 @@ func (w *MetropolisHastings) StationaryWeight(graph.NodeID) float64 { return 1 }
 // Err reports the source's sticky failure, if the source tracks one.
 func (w *MetropolisHastings) Err() error { return sourceErr(w.src) }
 
+// SetCurrent repositions the walk (between runs only).
+func (w *MetropolisHastings) SetCurrent(v graph.NodeID) { w.cur = v }
+
+// RandState captures the walker's RNG stream.
+func (w *MetropolisHastings) RandState() [4]uint64 { return w.rng.State() }
+
+// SetRandState restores a stream captured with RandState.
+func (w *MetropolisHastings) SetRandState(s [4]uint64) { w.rng.SetState(s) }
+
 // RandomJump wraps MHRW with uniform restarts: with probability PJump the
 // walk teleports to a uniformly random user ID (requiring the global ID
 // space, which the paper notes is not available on every network), otherwise
@@ -165,6 +200,23 @@ func (w *RandomJump) StationaryWeight(graph.NodeID) float64 { return 1 }
 
 // Err reports the source's sticky failure, if the source tracks one.
 func (w *RandomJump) Err() error { return w.mh.Err() }
+
+// SetCurrent repositions the walk (between runs only).
+func (w *RandomJump) SetCurrent(v graph.NodeID) { w.mh.cur = v }
+
+// RandState captures the walker's RNG stream (shared with the embedded MHRW
+// chain, so one state covers both the jump coin and the proposal draws).
+func (w *RandomJump) RandState() [4]uint64 { return w.rng.State() }
+
+// SetRandState restores a stream captured with RandState.
+func (w *RandomJump) SetRandState(s [4]uint64) { w.rng.SetState(s) }
+
+// Interface conformance checks.
+var (
+	_ StateCarrier = (*Simple)(nil)
+	_ StateCarrier = (*MetropolisHastings)(nil)
+	_ StateCarrier = (*RandomJump)(nil)
+)
 
 // Run advances w by n steps and returns the visited nodes (one entry per
 // step, excluding the start).

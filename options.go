@@ -103,8 +103,9 @@ type config struct {
 	pJump       float64
 	partitioned bool
 	prefetch    *PrefetchOptions
-	shards      int   // 0 = store default
-	err         error // first option-validation failure, surfaced by NewSession
+	shards      int    // 0 = store default
+	src         Source // WithSource; the backend for Resume (and an alternative spelling for NewSession)
+	err         error  // first option-validation failure, surfaced by NewSession
 }
 
 // Option configures a Session at construction.
@@ -249,6 +250,24 @@ func WithStoreShards(n int) Option {
 			return
 		}
 		c.shards = n
+	}
+}
+
+// WithSource supplies the network backend as an option. It exists for
+// Resume, whose signature has no Source parameter: a checkpoint deliberately
+// carries no backend (the bytes must be portable across processes, and the
+// whole point of resuming inside a service is to reattach to a SHARED
+// provider whose cache other tenants keep warming), so the caller names the
+// backend explicitly — typically the same Provider, or one rebuilt over the
+// same URL. Passing it to NewSession instead of the src argument is also
+// allowed (pass nil there); passing both is an error.
+func WithSource(src Source) Option {
+	return func(c *config) {
+		if src == nil {
+			c.fail(fmt.Errorf("rewire: WithSource(nil)"))
+			return
+		}
+		c.src = src
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"iter"
 	"sync"
+	"sync/atomic"
 
 	"rewire/internal/core"
 	"rewire/internal/diag"
@@ -45,6 +46,12 @@ type Session struct {
 	mu      sync.Mutex
 	running bool
 	err     error // why the last run aborted (nil for clean completion)
+
+	// pauseReq marks the active run as pause-requested: walkers stop at the
+	// next step boundary (Fleet.Quiesce) and the run reports ErrPaused rather
+	// than clean completion, so callers can tell "budget drained" from
+	// "pause honored". Reset by the next begin.
+	pauseReq atomic.Bool
 }
 
 // NewSession builds a session over src with the given options. Construction
@@ -52,15 +59,27 @@ type Session struct {
 // start node is connected) happens on the first run, under that run's
 // context.
 func NewSession(src Source, opts ...Option) (*Session, error) {
-	if src == nil {
-		return nil, fmt.Errorf("rewire: nil Source")
-	}
 	cfg := defaults()
 	for _, opt := range opts {
 		opt(&cfg)
 	}
 	if cfg.err != nil {
 		return nil, cfg.err
+	}
+	if cfg.src != nil {
+		if src != nil {
+			return nil, fmt.Errorf("rewire: WithSource conflicts with NewSession's src argument — pass one or the other")
+		}
+		src = cfg.src
+	}
+	return newSession(src, cfg)
+}
+
+// newSession constructs a session from a folded config — the shared back
+// half of NewSession and Resume.
+func newSession(src Source, cfg config) (*Session, error) {
+	if src == nil {
+		return nil, fmt.Errorf("rewire: nil Source")
 	}
 	k := cfg.fleet
 	switch {
@@ -224,6 +243,7 @@ func (s *Session) begin(ctx context.Context) error {
 	s.running = true
 	s.err = nil
 	s.mu.Unlock()
+	s.pauseReq.Store(false)
 	if err := ctx.Err(); err != nil {
 		// A dead-on-arrival context is still a run that aborted: record the
 		// reason so the Nodes()+Err() pattern sees it.
@@ -281,14 +301,35 @@ func (s *Session) finish(err error) {
 	s.mu.Unlock()
 }
 
+// Pause asks the active run to stop at the next step boundary: every walker
+// finishes and delivers its in-flight step, then retires, and the run ends
+// with ErrPaused. Unlike cancelling the run's context — which can abort a
+// walker mid-step, after its RNG stream advanced but before the sample was
+// emitted — a pause leaves every chain's state exactly consistent with the
+// samples delivered, which is what makes a Checkpoint taken afterwards
+// Resume byte-identically: the resumed trajectory continues precisely where
+// an uninterrupted run would have gone. Safe from any goroutine; a no-op
+// when no run is active (the next run resets the request).
+func (s *Session) Pause() {
+	s.pauseReq.Store(true)
+	s.fleet.Quiesce()
+}
+
 // abortErr explains an early stop: the query path's sticky failure when
 // there is one (it is the more specific: budget exhaustion, a provider
-// error), else the context's.
+// error), else the context's, else — for a run that stopped only because
+// Pause asked it to — ErrPaused.
 func (s *Session) abortErr(ctx context.Context) error {
 	if err := s.bound.Err(); err != nil {
 		return err
 	}
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.pauseReq.Load() {
+		return ErrPaused
+	}
+	return nil
 }
 
 // Stream draws up to total samples as a single-use iterator of (Sample,
@@ -450,7 +491,7 @@ func (s *Session) Estimate(ctx context.Context, agg Aggregate, opt EstimateOptio
 		Samples:        opt.Samples,
 		Thinning:       opt.Thinning,
 		Stop: func() bool {
-			return ctx.Err() != nil || s.bound.Err() != nil
+			return ctx.Err() != nil || s.bound.Err() != nil || s.pauseReq.Load()
 		},
 	})
 	out := Result{

@@ -234,6 +234,48 @@ func (p *Provider) SetBudget(n int64) { p.client.SetBudget(n) }
 // until consumed).
 func (p *Provider) UniqueQueries() int64 { return p.client.UniqueQueries() }
 
+// TenantBill is one tenant's slice of a provider's billing ledger: its
+// demanded unique queries, in-flight reservations, and private budget. See
+// WithTenant for how queries acquire a tenant attribution.
+type TenantBill = osn.TenantBill
+
+// WithTenant returns a context whose demand queries are attributed to the
+// named tenant in the provider's per-tenant ledger. Attribution rides the
+// context, not the Provider, so any number of tenants can share one
+// provider — one cache, one singleflight, one global ledger — while their
+// bills stay exactly separable: a query is billed to the tenant whose
+// demand made it billable (first demand of a fetch, or first demand touch
+// of a speculative response); cache hits and coalesced waits are free for
+// everyone. The empty name is the anonymous tenant, so the invariant
+// Σ TenantBill.Unique == UniqueQueries holds unconditionally.
+func WithTenant(ctx context.Context, name string) context.Context {
+	return osn.WithTenant(ctx, name)
+}
+
+// TenantFrom returns the tenant name carried by ctx ("" when none).
+func TenantFrom(ctx context.Context) string { return osn.TenantFrom(ctx) }
+
+// TenantBill returns the named tenant's current ledger slice ("" is the
+// anonymous tenant).
+func (p *Provider) TenantBill(name string) TenantBill { return p.client.TenantBill(name) }
+
+// TenantBills returns every tenant's ledger slice keyed by name — a private
+// copy, consistent at one ledger instant.
+func (p *Provider) TenantBills() map[string]TenantBill { return p.client.TenantBills() }
+
+// SetTenantBudget caps the named tenant's unique demand queries at n
+// (n <= 0 removes the cap), independently of the provider-wide SetBudget
+// cap. The tenant's queries fail with ErrBudgetExhausted once its own bill
+// reaches the cap, however much global budget remains.
+func (p *Provider) SetTenantBudget(name string, n int64) { p.client.SetTenantBudget(name, n) }
+
+// CachedDegree returns v's degree if — and only if — it is already known
+// locally through a demand query, without issuing (or billing) one: the
+// paper's free historical knowledge, exposed so read-only consumers (a
+// serving layer computing estimates from delivered samples) never perturb
+// the bill. Speculative prefetch results are excluded until demanded.
+func (p *Provider) CachedDegree(v NodeID) (int, bool) { return p.client.CachedDegree(v) }
+
 // CacheSize returns the number of distinct users stored locally (demanded
 // and speculative).
 func (p *Provider) CacheSize() int { return p.client.CacheSize() }
