@@ -29,7 +29,7 @@ type prefetchFlags struct {
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: table1|running|fig7|fig8|fig9|fig10|fig11|theorem6|fleet|prefetch|contention|all, or bench/memsmoke/snapcold (standalone CI workloads, not part of all)")
+		which    = flag.String("exp", "all", "experiment: table1|running|fig7|fig8|fig9|fig10|fig11|theorem6|fleet|prefetch|contention|all, or bench/memsmoke/snapcold/warmstart (standalone CI workloads, not part of all)")
 		full     = flag.Bool("full", false, "run at full paper scale (slower)")
 		seed     = flag.Uint64("seed", 1, "master random seed")
 		dataset  = flag.String("dataset", "", "restrict fig7 to one dataset (default: all three)")
@@ -240,6 +240,20 @@ func run(which string, full bool, seed uint64, dataset, jsonOut string, pf prefe
 		fmt.Fprintf(out, "dataset: %s (%d nodes, %d edges)\nopen+walk wall: %s\nunique queries: %d\n",
 			ds.Name, ds.Graph.NumNodes(), ds.Graph.NumEdges(), row.Wall, row.Unique)
 	}
+	if which == "warmstart" {
+		// Standalone: the durable cache's cold-vs-reopen path in isolation
+		// (the bench suite's DurableColdCrawl/DurableWarmCrawl rows run the
+		// same workload).
+		section("Durable warm start — cold crawl vs reopened-cache crawl")
+		ds := exp.Datasets(full)[0]
+		row, err := exp.RunWarmStart(ds, 10_000, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "dataset: %s (%d nodes, %d edges)\ncold crawl wall: %s (%d unique queries, all WAL-persisted)\nwarm crawl wall: %s (%d recovered, %d newly billed)\n",
+			ds.Name, ds.Graph.NumNodes(), ds.Graph.NumEdges(),
+			row.ColdWall, row.ColdUnique, row.WarmWall, row.Recovered, row.WarmNew)
+	}
 	if which == "bench" {
 		section("Bench suite — deterministic CI gate workloads")
 		suite, err := exp.BenchSuite(seed)
@@ -256,7 +270,7 @@ func run(which string, full bool, seed uint64, dataset, jsonOut string, pf prefe
 	}
 	if !all {
 		switch which {
-		case "table1", "running", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem6", "fleet", "prefetch", "contention", "bench", "memsmoke", "snapcold":
+		case "table1", "running", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem6", "fleet", "prefetch", "contention", "bench", "memsmoke", "snapcold", "warmstart":
 		default:
 			return fmt.Errorf("unknown experiment %q", which)
 		}

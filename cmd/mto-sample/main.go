@@ -10,6 +10,7 @@
 //	mto-sample -alg MTO -budget 2000           # stop at 2000 unique queries
 //	mto-sample -source snapshot:crawl.csr -alg MTO
 //	mto-sample -source http://host/graph -alg SRW -fleet 8
+//	mto-sample -source http://host/graph -cache ./crawlcache  # persist + warm-start
 //
 // A -timeout deadline or a -budget cap ends the run early with whatever has
 // been sampled: the session is the paper's protocol made interruptible.
@@ -43,9 +44,10 @@ func main() {
 		limitFB = flag.Bool("facebook-limits", false, "apply the paper's 600/600s quota to the interface")
 		timeout = flag.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none)")
 		budget  = flag.Int64("budget", 0, "unique-query budget (0 = unlimited)")
+		cache   = flag.String("cache", "", "durable cache directory: persist every billed fetch and warm-start the next run from it (empty = in-memory only)")
 	)
 	flag.Parse()
-	if err := run(*dataset, *full, *file, *source, *alg, *fleetK, *samples, *geweke, *seed, *limitFB, *timeout, *budget); err != nil {
+	if err := run(*dataset, *full, *file, *source, *alg, *fleetK, *samples, *geweke, *seed, *limitFB, *timeout, *budget, *cache); err != nil {
 		fmt.Fprintln(os.Stderr, "mto-sample:", err)
 		os.Exit(1)
 	}
@@ -72,7 +74,7 @@ func options(alg string) ([]rewire.Option, error) {
 	}
 }
 
-func run(dataset string, full bool, file, source, alg string, fleetK, samples int, geweke float64, seed uint64, limitFB bool, timeout time.Duration, budget int64) error {
+func run(dataset string, full bool, file, source, alg string, fleetK, samples int, geweke float64, seed uint64, limitFB bool, timeout time.Duration, budget int64, cache string) error {
 	var g *rewire.Graph // nil when -source names an external backend
 	var provider *rewire.Provider
 	var err error
@@ -112,9 +114,24 @@ func run(dataset string, full bool, file, source, alg string, fleetK, samples in
 		return err
 	}
 	opts = append(opts, rewire.WithFleet(fleetK), rewire.WithSeed(seed))
+	if cache != "" {
+		opts = append(opts, rewire.WithDurableCache(cache))
+	}
 	session, err := rewire.NewSession(provider, opts...)
 	if err != nil {
 		return err
+	}
+	if cache != "" {
+		if st, ok := provider.DurableCacheStats(); ok && st.Entries > 0 {
+			fmt.Printf("warm start:         %d cached users recovered from %s (%d WAL records replayed, gen %d)\n",
+				st.Entries, cache, st.Replayed, st.Gen)
+		}
+		if source == "" {
+			// The -source path deferred provider.Close above; the simulated
+			// path needs one now that there is a WAL to seal and a flock to
+			// release on exit.
+			defer provider.Close()
+		}
 	}
 
 	ctx := context.Background()

@@ -5,14 +5,18 @@
 // walk warms every other tenant's cache while their bills stay exactly
 // separable.
 //
-//	rewire-serve -addr :8080 -state /var/lib/rewire-serve
+//	rewire-serve -addr :8080 -state /var/lib/rewire-serve -cache /var/lib/rewire-cache
 //
 // Submit jobs with POST /v1/jobs, follow them with GET /v1/jobs/{id}/stream
 // (JSON lines), pause/resume with POST /v1/jobs/{id}/pause and .../resume.
 // On SIGINT/SIGTERM the daemon drains: every running job is paused at a step
 // boundary and checkpointed, state is saved to -state (when set), and the
 // next start loads it — paused jobs resume byte-identically across the
-// restart.
+// restart. With -cache, each backend additionally persists its demand-billed
+// neighbor cache through a write-ahead log as it runs, so even a daemon that
+// dies without draining (crash, SIGKILL, power loss) restarts with the
+// cache and billing ledger recovered exactly: resumed jobs replay their
+// trajectories warm instead of re-querying the provider.
 package main
 
 import (
@@ -36,6 +40,7 @@ func main() {
 	burst := flag.Int("burst", 1, "rate limiter burst size")
 	maxJobs := flag.Int("max-jobs-per-tenant", 0, "max live jobs per tenant (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for jobs to checkpoint")
+	cacheDir := flag.String("cache", "", "durable cache directory: per-backend write-ahead-logged caches that survive crashes and warm-start restarts (empty = in-memory only)")
 	flag.Parse()
 
 	// The server gets its own root context, NOT the signal context: on
@@ -45,6 +50,7 @@ func main() {
 		RateLimitRPS:     *rate,
 		RateLimitBurst:   *burst,
 		MaxJobsPerTenant: *maxJobs,
+		CacheDir:         *cacheDir,
 	})
 	if *stateDir != "" {
 		if err := srv.LoadState(*stateDir); err != nil {

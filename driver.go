@@ -35,6 +35,11 @@ import (
 //	snapshot:crawl.csr            read-only binary CSR snapshot, mmap'd on
 //	                              linux (?mode=readerat forces the portable
 //	                              io.ReaderAt path)
+//	cache:DIR?src=URL             durable write-ahead-logged cache over any
+//	                              other scheme: fetches persist before they
+//	                              are served, and reopening the directory
+//	                              warm-starts cache and billing ledger
+//	                              exactly (?fsync=1 fsyncs per record)
 //
 // Third parties add schemes with Register. Open never retains u; a Driver
 // may.
@@ -131,6 +136,7 @@ func init() {
 	Register("http", DriverFunc(openHTTP))
 	Register("https", DriverFunc(openHTTP))
 	Register("snapshot", DriverFunc(openSnapshot))
+	Register("cache", DriverFunc(openCache))
 }
 
 // parseGraphSpec builds the in-memory graph a mem: or sim: URL describes.

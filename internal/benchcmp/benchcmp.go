@@ -53,6 +53,13 @@ type Result struct {
 	// ceiling: a run whose allocs/op exceeds the baseline's fails the gate.
 	// With a baseline AllocsPerOp of 0 this is the zero-allocation gate.
 	GateAllocs bool `json:"gate_allocs,omitempty"`
+	// GateExactQueries, set in the baseline file, gates Queries with zero
+	// tolerance: the run must reproduce the baseline bill to the query.
+	// The tolerance-band gate above skips baselines of 0 (nothing to take a
+	// ratio against); this one has no such blind spot, which is what the
+	// durable warm-start row needs — its whole claim is that a reopened
+	// cache bills exactly nothing.
+	GateExactQueries bool `json:"gate_exact_queries,omitempty"`
 }
 
 // Suite is a full benchmark run.
@@ -145,7 +152,12 @@ func Compare(base, run Suite, tol float64) []Finding {
 
 func compareOne(b, r Result, tol float64) []Finding {
 	var out []Finding
-	if b.Queries > 0 {
+	if b.GateExactQueries && r.Queries != b.Queries {
+		out = append(out, Finding{Name: b.Name, Metric: "queries",
+			Base: float64(b.Queries), Run: float64(r.Queries), Regression: true,
+			Msg: fmt.Sprintf("unique-query bill %d != gated exact value %d", r.Queries, b.Queries)})
+	}
+	if !b.GateExactQueries && b.Queries > 0 {
 		// Query counters are deterministic functions of the seed, so drift in
 		// EITHER direction beyond tolerance is a behavior change and fails
 		// the gate. A drop is just as suspicious as a growth: the cheapest

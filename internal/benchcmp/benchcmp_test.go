@@ -65,6 +65,28 @@ func TestQueryDropBeyondToleranceFails(t *testing.T) {
 	}
 }
 
+func TestExactQueryGate(t *testing.T) {
+	base := baseSuite()
+	base.Results = append(base.Results, Result{Name: "DurableWarmCrawl", Queries: 0, GateExactQueries: true})
+	run := runSuite()
+	run.Results = append(run.Results, Result{Name: "DurableWarmCrawl", Queries: 0})
+	if fs := Compare(base, run, 0.2); HasRegression(fs) {
+		t.Fatalf("exact match flagged: %v", fs)
+	}
+	// A single billed query fails — the tolerance-band gate would wave a
+	// zero-baseline row through, the exact gate must not.
+	run.Results[len(run.Results)-1].Queries = 1
+	if fs := Compare(base, run, 0.2); !HasRegression(fs) {
+		t.Fatal("exact gate missed a nonzero bill on a zero baseline")
+	}
+	// And the exact gate allows no tolerance band on nonzero baselines.
+	base.Results[len(base.Results)-1].Queries = 100
+	run.Results[len(run.Results)-1].Queries = 101 // +1%, inside any band
+	if fs := Compare(base, run, 0.2); !HasRegression(fs) {
+		t.Fatal("exact gate tolerated off-by-one drift")
+	}
+}
+
 func TestSpeedupBelowFloorFails(t *testing.T) {
 	run := runSuite()
 	run.Results[1].Speedup = 1.4

@@ -1,0 +1,71 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so a crash at any instant leaves either
+// the old file or the complete new one, never a torn mix: the bytes go to a
+// uniquely named temp file in path's directory, the temp file is fsync'd,
+// renamed over path, and the directory entry is fsync'd so the rename itself
+// survives power loss. This is the one write-then-rename helper behind every
+// piece of durable state in the repo — WAL manifests, compacted snapshot
+// metadata, and the serving layer's drain checkpoints all commit through it.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("durable: creating temp for %s: %w", filepath.Base(path), err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("durable: writing %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Chmod(perm); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("durable: chmod %s: %w", filepath.Base(path), err)
+	}
+	return CommitFile(f, path)
+}
+
+// CommitFile fsyncs f, closes it, and atomically renames it over path (f must
+// live in path's directory), then fsyncs the directory. On failure the temp
+// file is removed. It is the tail half of WriteFileAtomic, exposed for
+// writers that stream into the temp file themselves — the snapshot compactor
+// streams gigabyte-scale CSR rows and only then commits the name.
+func CommitFile(f *os.File, path string) error {
+	tmp := f.Name()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: syncing %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: closing %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: committing %s: %w", filepath.Base(path), err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: opening dir for sync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("durable: syncing dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rewire/internal/graph"
+)
+
+// compactorLoop is the background half of compaction: it waits for append to
+// signal that enough sealed segments have accumulated, folds them, and goes
+// back to sleep. Close stops it and collects the last error.
+func (c *Cache) compactorLoop() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.trigger:
+		}
+		if err := c.Compact(); err != nil {
+			c.mu.Lock()
+			c.cerr = err
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Compact folds every sealed WAL segment, together with the current
+// snapshot generation, into a new snapshot + meta pair, then swaps the
+// manifest and deletes the folded files. Appends proceed concurrently (they
+// land in the active segment, which is never folded). The fold re-reads
+// everything from disk — old meta, old snapshot rows, sealed segments — so
+// compaction memory is bounded by the sealed WAL size plus the offsets
+// array, not the total cache size.
+//
+// Crash safety: the new snapshot and meta files commit via fsync'd
+// temp-and-rename before the manifest swap, and the swap itself is atomic —
+// a crash at any instant leaves the manifest naming either the old complete
+// generation (new files become debris, pruned at open) or the new one
+// (folded files become debris). Safe to call concurrently; a second call
+// while one runs is a no-op.
+func (c *Cache) Compact() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("durable: cache closed")
+	}
+	if c.compacting {
+		c.mu.Unlock()
+		return nil
+	}
+	if c.werr != nil {
+		err := c.werr
+		c.mu.Unlock()
+		return err
+	}
+	c.compacting = true
+	defer func() {
+		c.mu.Lock()
+		c.compacting = false
+		c.mu.Unlock()
+	}()
+	gen := c.man.Gen
+	if c.size == 0 && len(c.man.Segments) == 1 {
+		// One empty active segment: nothing to fold.
+		c.mu.Unlock()
+		return nil
+	}
+	if c.size > 0 {
+		// Seal the active segment (stamping the new generation's barrier)
+		// so the sealed set below contains every record appended so far.
+		if err := c.rotateLocked(gen + 1); err != nil {
+			c.mu.Unlock()
+			return err
+		}
+	}
+	sealed := append([]uint64(nil), c.man.Segments[:len(c.man.Segments)-1]...)
+	snap := c.snap
+	oldSnapName, oldMetaName := c.man.Snapshot, c.man.Meta
+	c.mu.Unlock()
+
+	if len(sealed) == 0 {
+		return nil
+	}
+	newGen := gen + 1
+	if err := c.fold(newGen, sealed, snap, oldMetaName); err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		// Close won the race; the new generation's files are debris for the
+		// next open to prune.
+		return fmt.Errorf("durable: cache closed during compaction")
+	}
+	man := c.man
+	man.Gen = newGen
+	man.Snapshot = snapName(newGen)
+	man.Meta = metaName(newGen)
+	live := make([]uint64, 0, len(c.man.Segments))
+	folded := make(map[uint64]bool, len(sealed))
+	for _, seq := range sealed {
+		folded[seq] = true
+	}
+	for _, seq := range c.man.Segments {
+		if !folded[seq] {
+			live = append(live, seq)
+		}
+	}
+	man.Segments = live
+	newSnap, err := graph.OpenSnapshot(filepath.Join(c.dir, man.Snapshot))
+	if err != nil {
+		return fmt.Errorf("durable: reopening compacted snapshot: %w", err)
+	}
+	if err := saveManifest(c.dir, man); err != nil {
+		newSnap.Close()
+		return err
+	}
+	c.man = man
+	if c.snap != nil {
+		// Superseded, but clients hold zero-copy views into its rows: keep
+		// the mapping alive until Close. The file itself can be unlinked —
+		// POSIX keeps mapped pages valid with no directory entry.
+		c.oldSnaps = append(c.oldSnaps, c.snap)
+	}
+	c.snap = newSnap
+	c.compactions++
+	c.stats.Gen = man.Gen
+	c.stats.Segments = len(man.Segments)
+	// Folded inputs are garbage now; removal is best-effort (leftovers are
+	// pruned at the next open).
+	for _, seq := range sealed {
+		os.Remove(filepath.Join(c.dir, segmentName(seq)))
+	}
+	if oldSnapName != "" {
+		os.Remove(filepath.Join(c.dir, oldSnapName))
+		os.Remove(filepath.Join(c.dir, oldMetaName))
+	}
+	return nil
+}
+
+// fold builds generation newGen on disk: old meta + old snapshot rows +
+// sealed segments → snap-<gen>.csr + meta-<gen>.bin, both committed with
+// fsync'd renames. No cache state is touched — the caller swaps the manifest.
+func (c *Cache) fold(newGen uint64, sealed []uint64, snap *graph.Snapshot, oldMetaName string) error {
+	base := newMetaState()
+	if oldMetaName != "" {
+		data, err := os.ReadFile(filepath.Join(c.dir, oldMetaName))
+		if err != nil {
+			return fmt.Errorf("durable: reading meta for fold: %w", err)
+		}
+		if base, err = decodeMeta(data); err != nil {
+			return fmt.Errorf("durable: decoding meta for fold: %w", err)
+		}
+	}
+	walRows := make(map[graph.NodeID][]graph.NodeID)
+	for _, seq := range sealed {
+		data, err := os.ReadFile(filepath.Join(c.dir, segmentName(seq)))
+		if err != nil {
+			return fmt.Errorf("durable: reading segment for fold: %w", err)
+		}
+		if _, err := replaySegment(data, false, func(r Record) error {
+			base.apply(r)
+			switch r.Type {
+			case recFetch:
+				walRows[r.User] = r.Neighbors
+			case recTombstone:
+				delete(walRows, r.User)
+			}
+			return nil
+		}); err != nil {
+			return fmt.Errorf("durable: folding %s: %w", segmentName(seq), err)
+		}
+	}
+
+	ids := base.sortedIDs()
+	numNodes := 0
+	if len(ids) > 0 {
+		numNodes = int(ids[len(ids)-1]) + 1
+	}
+	f, err := os.CreateTemp(c.dir, snapName(newGen)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("durable: creating snapshot temp: %w", err)
+	}
+	app, err := graph.NewSnapshotAppender(f, numNodes)
+	if err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	for _, id := range ids {
+		nbrs, ok := walRows[id]
+		if !ok {
+			if nbrs, err = snap.Neighbors(id); err != nil {
+				f.Close()
+				os.Remove(f.Name())
+				return fmt.Errorf("durable: folding snapshot row %d: %w", id, err)
+			}
+		}
+		if err := app.Append(id, nbrs); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return err
+		}
+	}
+	if err := app.Finish(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := CommitFile(f, filepath.Join(c.dir, snapName(newGen))); err != nil {
+		return err
+	}
+	return WriteFileAtomic(filepath.Join(c.dir, metaName(newGen)), encodeMeta(base), 0o644)
+}

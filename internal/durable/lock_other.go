@@ -1,0 +1,35 @@
+//go:build !unix
+
+package durable
+
+import (
+	"fmt"
+	"os"
+)
+
+// Non-unix fallback: no flock primitive, so the lock file is advisory only
+// (created, never contended). Crash injection falls back to a hard exit.
+type dirLock struct {
+	f *os.File
+}
+
+func acquireDirLock(path string) (*dirLock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: opening lock file: %w", err)
+	}
+	return &dirLock{f: f}, nil
+}
+
+func (l *dirLock) release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	return f.Close()
+}
+
+func crashSelf() {
+	os.Exit(137)
+}

@@ -1,0 +1,45 @@
+//go:build unix
+
+package durable
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// dirLock is an exclusive flock on the cache directory's LOCK file: two
+// processes appending to the same WAL would interleave frames and corrupt
+// each other, so Open refuses to share.
+type dirLock struct {
+	f *os.File
+}
+
+func acquireDirLock(path string) (*dirLock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: cache directory already locked by another process: %w", err)
+	}
+	return &dirLock{f: f}, nil
+}
+
+func (l *dirLock) release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	// Closing the descriptor drops the flock.
+	return f.Close()
+}
+
+// crashSelf is the fault-injection kill switch: SIGKILL, not panic, so no
+// deferred cleanup runs — the closest reproducible stand-in for power loss.
+func crashSelf() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {} // unreachable; SIGKILL cannot be handled
+}

@@ -1,0 +1,228 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"slices"
+
+	"rewire/internal/graph"
+	"rewire/internal/osn"
+)
+
+// metaEntry is the billing metadata for one cached user: whether the fetch
+// was demand-billed (vs speculative prefetch), which tenant paid, and the
+// user attributes (the neighbor row itself lives in the snapshot or WAL).
+type metaEntry struct {
+	billed bool
+	tenant string
+	attrs  osn.UserAttrs
+}
+
+// metaState is the folded view of a cache's billing ledger: per-entry
+// metadata plus explicit unique-query totals and budgets. The totals are
+// stored explicitly — not derived from live entries — because tombstones
+// remove entries without refunding the queries that fetched them, exactly as
+// the live ledger never decrements unique counts.
+type metaState struct {
+	entries map[graph.NodeID]metaEntry
+	// unique maps tenant ("" = anonymous) to billed unique queries. The
+	// global counter is the sum — an invariant the client ledger shares.
+	unique       map[string]int64
+	budget       int64
+	tenantBudget map[string]int64
+}
+
+func newMetaState() *metaState {
+	return &metaState{
+		entries:      make(map[graph.NodeID]metaEntry),
+		unique:       make(map[string]int64),
+		tenantBudget: make(map[string]int64),
+	}
+}
+
+// apply folds one replayed WAL record into the state, mirroring the client's
+// live billing transitions exactly: every billed fetch and every speculative
+// upgrade increments the paying tenant's unique count; tombstones drop the
+// entry but never the accrued bill.
+func (m *metaState) apply(r Record) {
+	switch r.Type {
+	case recFetch:
+		m.entries[r.User] = metaEntry{billed: r.Billed, tenant: r.Tenant, attrs: r.Attrs}
+		if r.Billed {
+			m.unique[r.Tenant]++
+		}
+	case recUpgrade:
+		if e, ok := m.entries[r.User]; ok && !e.billed {
+			e.billed = true
+			e.tenant = r.Tenant
+			m.entries[r.User] = e
+			m.unique[r.Tenant]++
+		}
+	case recTombstone:
+		delete(m.entries, r.User)
+	case recBudget:
+		m.budget = r.Budget
+	case recTenantBudget:
+		if r.Budget == 0 {
+			delete(m.tenantBudget, r.Tenant)
+		} else {
+			m.tenantBudget[r.Tenant] = r.Budget
+		}
+	case recBarrier:
+		// Informational; the manifest names the authoritative generation.
+	}
+}
+
+// sortedIDs returns the live entry ids in ascending order — the order the
+// snapshot compactor appends rows.
+func (m *metaState) sortedIDs() []graph.NodeID {
+	ids := make([]graph.NodeID, 0, len(m.entries))
+	for id := range m.entries {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+// Meta file format: "RWIRMET1" magic, then a versioned body, then an IEEE
+// CRC-32 of everything before it. The body interns tenant names in a sorted
+// string table and stores entries sorted by id, so identical states encode
+// to identical bytes (byte-stable across map iteration order).
+const (
+	metaMagic   = "RWIRMET1"
+	metaVersion = 1
+)
+
+func encodeMeta(m *metaState) []byte {
+	tenantSet := make(map[string]struct{})
+	for _, e := range m.entries {
+		tenantSet[e.tenant] = struct{}{}
+	}
+	for t := range m.unique {
+		tenantSet[t] = struct{}{}
+	}
+	for t := range m.tenantBudget {
+		tenantSet[t] = struct{}{}
+	}
+	tenants := make([]string, 0, len(tenantSet))
+	for t := range tenantSet {
+		tenants = append(tenants, t)
+	}
+	slices.Sort(tenants)
+	idx := make(map[string]uint64, len(tenants))
+	for i, t := range tenants {
+		idx[t] = uint64(i)
+	}
+
+	b := []byte(metaMagic)
+	b = binary.AppendUvarint(b, metaVersion)
+	b = binary.AppendVarint(b, m.budget)
+	b = binary.AppendUvarint(b, uint64(len(tenants)))
+	for _, t := range tenants {
+		b = appendLenString(b, t)
+	}
+	var uniques, budgets []string
+	for t, n := range m.unique {
+		if n != 0 {
+			uniques = append(uniques, t)
+		}
+	}
+	for t := range m.tenantBudget {
+		budgets = append(budgets, t)
+	}
+	slices.Sort(uniques)
+	slices.Sort(budgets)
+	b = binary.AppendUvarint(b, uint64(len(uniques)))
+	for _, t := range uniques {
+		b = binary.AppendUvarint(b, idx[t])
+		b = binary.AppendVarint(b, m.unique[t])
+	}
+	b = binary.AppendUvarint(b, uint64(len(budgets)))
+	for _, t := range budgets {
+		b = binary.AppendUvarint(b, idx[t])
+		b = binary.AppendVarint(b, m.tenantBudget[t])
+	}
+	ids := m.sortedIDs()
+	b = binary.AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		e := m.entries[id]
+		b = binary.AppendUvarint(b, uint64(uint32(id)))
+		var flags byte
+		if e.billed {
+			flags |= 1
+		}
+		b = append(b, flags)
+		b = binary.AppendUvarint(b, idx[e.tenant])
+		b = binary.AppendUvarint(b, uint64(e.attrs.Age))
+		b = binary.AppendUvarint(b, uint64(e.attrs.DescLen))
+		b = binary.AppendUvarint(b, uint64(e.attrs.Posts))
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+func decodeMeta(data []byte) (*metaState, error) {
+	if len(data) < len(metaMagic)+4 {
+		return nil, fmt.Errorf("%w: meta file %d bytes", ErrCorrupt, len(data))
+	}
+	if string(data[:len(metaMagic)]) != metaMagic {
+		return nil, fmt.Errorf("%w: bad meta magic %q", ErrCorrupt, data[:len(metaMagic)])
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: meta checksum mismatch", ErrCorrupt)
+	}
+	r := payloadReader{b: body, off: len(metaMagic)}
+	if v := r.uvarint(); r.err == nil && v != metaVersion {
+		return nil, fmt.Errorf("%w: unknown meta version %d", ErrCorrupt, v)
+	}
+	m := newMetaState()
+	m.budget = r.varint()
+	nTenants := r.smallInt()
+	if r.err == nil && nTenants > len(body) {
+		r.fail("tenant count %d overruns body", nTenants)
+	}
+	tenants := make([]string, 0, max(nTenants, 0))
+	for i := 0; i < nTenants && r.err == nil; i++ {
+		tenants = append(tenants, r.str())
+	}
+	tenant := func(i uint64) string {
+		if r.err == nil && i >= uint64(len(tenants)) {
+			r.fail("tenant index %d outside table of %d", i, len(tenants))
+		}
+		if r.err != nil {
+			return ""
+		}
+		return tenants[i]
+	}
+	for i, n := 0, r.smallInt(); i < n && r.err == nil; i++ {
+		t := tenant(r.uvarint())
+		m.unique[t] = r.varint()
+	}
+	for i, n := 0, r.smallInt(); i < n && r.err == nil; i++ {
+		t := tenant(r.uvarint())
+		m.tenantBudget[t] = r.varint()
+	}
+	nEntries := r.smallInt()
+	if r.err == nil && nEntries > len(body) {
+		r.fail("entry count %d overruns body", nEntries)
+	}
+	for i := 0; i < nEntries && r.err == nil; i++ {
+		id := r.nodeID()
+		flags := r.byte()
+		e := metaEntry{billed: flags&1 != 0, tenant: tenant(r.uvarint())}
+		e.attrs.Age = r.smallInt()
+		e.attrs.DescLen = r.smallInt()
+		e.attrs.Posts = r.smallInt()
+		if r.err == nil {
+			m.entries[id] = e
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing meta bytes", ErrCorrupt, len(body)-r.off)
+	}
+	return m, nil
+}

@@ -104,6 +104,32 @@ func BenchSuite(seed uint64) (benchcmp.Suite, error) {
 		Samples: snapSamples,
 		Queries: snap.Unique,
 	})
+
+	// Durable warm start: a cold crawl into a WAL-backed cache directory,
+	// then the identical fixed-seed crawl after reopening it. The cold bill
+	// is gated within tolerance like any deterministic counter; the warm
+	// row's Queries is the bill the reopened crawl added on top of the
+	// recovered ledger, gated EXACTLY at zero in the baseline — the
+	// durability contract is that a replayed entry is never re-billed.
+	const warmSamples = 10_000
+	warm, err := RunWarmStart(ds, warmSamples, seed)
+	if err != nil {
+		return suite, fmt.Errorf("exp: DurableWarmStart workload failed: %w", err)
+	}
+	suite.Results = append(suite.Results,
+		benchcmp.Result{
+			Name:    "DurableColdCrawl",
+			WallNS:  warm.ColdWall.Nanoseconds(),
+			Samples: warmSamples,
+			Queries: warm.ColdUnique,
+		},
+		benchcmp.Result{
+			Name:    "DurableWarmCrawl",
+			WallNS:  warm.WarmWall.Nanoseconds(),
+			Samples: warmSamples,
+			Queries: warm.WarmNew,
+		},
+	)
 	return suite, nil
 }
 

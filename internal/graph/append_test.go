@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotAppenderRoundTrip(t *testing.T) {
+	rows := map[NodeID][]NodeID{
+		0:  {5, 2, 9},
+		3:  {},
+		4:  {0},
+		9:  {9, 8, 7, 6},
+		11: {1},
+	}
+	path := filepath.Join(t.TempDir(), "directed.csr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := NewSnapshotAppender(f, 12)
+	if err != nil {
+		t.Fatalf("NewSnapshotAppender: %v", err)
+	}
+	for _, id := range []NodeID{0, 3, 4, 9, 11} {
+		if err := app.Append(id, rows[id]); err != nil {
+			t.Fatalf("Append(%d): %v", id, err)
+		}
+	}
+	if err := app.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	defer s.Close()
+	if !s.Directed() {
+		t.Error("appended snapshot not marked directed")
+	}
+	if s.NumNodes() != 12 || s.NumEdges() != 9 {
+		t.Errorf("nodes=%d edges=%d, want 12, 9", s.NumNodes(), s.NumEdges())
+	}
+	for id := NodeID(0); id < 12; id++ {
+		want := rows[id]
+		got, err := s.Neighbors(id)
+		if err != nil {
+			t.Fatalf("Neighbors(%d): %v", id, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Neighbors(%d) = %v, want %v", id, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Neighbors(%d) = %v, want %v", id, got, want)
+			}
+		}
+	}
+}
+
+func TestSnapshotAppenderEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.csr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := NewSnapshotAppender(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	s, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshot(empty): %v", err)
+	}
+	defer s.Close()
+	if s.NumNodes() != 0 {
+		t.Errorf("NumNodes = %d", s.NumNodes())
+	}
+}
+
+func TestSnapshotAppenderRejectsMisuse(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "x.csr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	app, err := NewSnapshotAppender(f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Append(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Append(3, nil); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if err := app.Append(2, nil); err == nil {
+		t.Error("out-of-order id accepted")
+	}
+	if err := app.Append(5, nil); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+	if err := app.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Append(4, nil); err == nil {
+		t.Error("append after Finish accepted")
+	}
+	if err := app.Finish(); err == nil {
+		t.Error("double Finish accepted")
+	}
+}
+
+// TestDirectedSnapshotRejectsV1Invariant pins the version split: a v1 header
+// whose edge count matches the directed rule (edges == entries) must fail,
+// and a v2 header with the undirected rule must fail.
+func TestDirectedSnapshotHeaderRules(t *testing.T) {
+	g := NewFromAdjacency([][]NodeID{{1}, {0, 2}, {1, 3}, {2}, {}, {}})
+	path := filepath.Join(t.TempDir(), "v1.csr")
+	if err := g.WriteSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Directed() {
+		t.Error("v1 snapshot reported directed")
+	}
+	s.Close()
+}

@@ -34,6 +34,14 @@ const (
 	snapshotVersion    = 1
 	snapshotBOM        = 0x1A2B3C4D
 	snapshotHeaderSize = 48
+
+	// snapshotVersionDirected (version 2) reuses the exact same layout for a
+	// DIRECTED adjacency: rows are arbitrary neighbor lists with no mirror-edge
+	// invariant, and the numEdges field holds the directed entry count
+	// (numEdges == numEntries). The durable crawl cache compacts into this
+	// form — a partially crawled neighborhood has no symmetric closure to
+	// promise. Version 1 files keep the undirected edges*2 == entries check.
+	snapshotVersionDirected = 2
 )
 
 // ErrSnapshotFormat reports a snapshot that cannot be opened: truncated or
@@ -100,9 +108,10 @@ func (g *Graph) WriteSnapshotFile(path string) error {
 // underlying file); neighbor slices returned by the mmap path are views into
 // the mapping and die with it.
 type Snapshot struct {
-	nodes   int
-	edges   int
-	entries int
+	nodes    int
+	edges    int
+	entries  int
+	directed bool
 
 	// mmap mode: both arrays are views into data.
 	offsets []uint32
@@ -119,6 +128,7 @@ type Snapshot struct {
 // snapshotHeader is the decoded, validated fixed-size header.
 type snapshotHeader struct {
 	nodes, entries, edges int
+	directed              bool
 }
 
 // snapshotTooShort is the shared "file shorter than the header" failure, so
@@ -137,9 +147,11 @@ func parseSnapshotHeader(hdr []byte, size int64) (snapshotHeader, error) {
 	if string(hdr[0:8]) != snapshotMagic {
 		return h, fmt.Errorf("%w: bad magic %q", ErrSnapshotFormat, hdr[0:8])
 	}
-	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != snapshotVersion {
-		return h, fmt.Errorf("%w: unsupported version %d", ErrSnapshotFormat, v)
+	version := binary.LittleEndian.Uint32(hdr[8:12])
+	if version != snapshotVersion && version != snapshotVersionDirected {
+		return h, fmt.Errorf("%w: unsupported version %d", ErrSnapshotFormat, version)
 	}
+	h.directed = version == snapshotVersionDirected
 	if bom := binary.LittleEndian.Uint32(hdr[12:16]); bom != snapshotBOM {
 		return h, fmt.Errorf("%w: byte-order mark %#x (foreign endianness?)", ErrSnapshotFormat, bom)
 	}
@@ -152,7 +164,11 @@ func parseSnapshotHeader(hdr []byte, size int64) (snapshotHeader, error) {
 	if nodes > math.MaxInt32 || entries > math.MaxInt32 || edges > math.MaxInt32 {
 		return h, fmt.Errorf("%w: counts exceed the int32 ID space (nodes=%d entries=%d edges=%d)", ErrSnapshotFormat, nodes, entries, edges)
 	}
-	if edges*2 != entries {
+	if h.directed {
+		if edges != entries {
+			return h, fmt.Errorf("%w: directed snapshot has %d edges but %d entries", ErrSnapshotFormat, edges, entries)
+		}
+	} else if edges*2 != entries {
 		return h, fmt.Errorf("%w: %d edges inconsistent with %d directed entries", ErrSnapshotFormat, edges, entries)
 	}
 	want := int64(snapshotHeaderSize) + 4*(int64(nodes)+1) + 4*int64(entries)
@@ -218,12 +234,13 @@ func OpenSnapshotReaderAt(r io.ReaderAt, size int64) (*Snapshot, error) {
 		offsets[i] = binary.LittleEndian.Uint32(raw[4*i:])
 	}
 	s := &Snapshot{
-		nodes:   h.nodes,
-		edges:   h.edges,
-		entries: h.entries,
-		offsets: offsets,
-		r:       r,
-		dataOff: snapshotHeaderSize + 4*(int64(h.nodes)+1),
+		nodes:    h.nodes,
+		edges:    h.edges,
+		entries:  h.entries,
+		directed: h.directed,
+		offsets:  offsets,
+		r:        r,
+		dataOff:  snapshotHeaderSize + 4*(int64(h.nodes)+1),
 	}
 	if err := s.checkOffsets(); err != nil {
 		return nil, err
@@ -248,8 +265,13 @@ func (s *Snapshot) checkOffsets() error {
 // NumNodes returns the node count.
 func (s *Snapshot) NumNodes() int { return s.nodes }
 
-// NumEdges returns the undirected edge count.
+// NumEdges returns the undirected edge count, or — for directed snapshots —
+// the directed adjacency entry count.
 func (s *Snapshot) NumEdges() int { return s.edges }
+
+// Directed reports whether the snapshot is a version-2 directed adjacency
+// (no mirror-edge invariant) rather than an undirected CSR.
+func (s *Snapshot) Directed() bool { return s.directed }
 
 // Degree returns v's degree without touching the neighbor array, or an error
 // for ids outside the snapshot or rows with corrupt bounds.

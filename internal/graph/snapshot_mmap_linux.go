@@ -43,10 +43,11 @@ func openSnapshotMmap(f *os.File, size int64) (*Snapshot, error) {
 		return nil, err
 	}
 	s := &Snapshot{
-		nodes:   h.nodes,
-		edges:   h.edges,
-		entries: h.entries,
-		closer:  func() error { return syscall.Munmap(data) },
+		nodes:    h.nodes,
+		edges:    h.edges,
+		entries:  h.entries,
+		directed: h.directed,
+		closer:   func() error { return syscall.Munmap(data) },
 	}
 	s.offsets = unsafe.Slice((*uint32)(unsafe.Pointer(&data[snapshotHeaderSize])), h.nodes+1)
 	if h.entries > 0 {

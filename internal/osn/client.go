@@ -161,6 +161,11 @@ type Client struct {
 	poolMu  sync.RWMutex
 	pool    *prefetchPool
 	retired PrefetchStats
+
+	// journal, when non-nil, persists billing-relevant transitions before
+	// they become observable (see Journal). Installed at construction time
+	// via SetJournal; never mutated while queries run.
+	journal Journal
 }
 
 // NewClient wraps a backend with an empty cache (adaptive default shard
@@ -211,8 +216,13 @@ func (c *Client) StoreShards() int { return c.state.Shards() }
 // to raise mid-run to resume an exhausted walk.
 func (c *Client) SetBudget(n int64) {
 	c.led.mu.Lock()
-	defer c.led.mu.Unlock()
 	c.led.budget = n
+	c.led.mu.Unlock()
+	if c.journal != nil {
+		// Best-effort: a failed append fail-stops the journal itself, and the
+		// budget still applies for this process's lifetime.
+		_ = c.journal.RecordBudget(n)
+	}
 }
 
 // Query returns q(v), from cache when possible. Only cache misses reach the
@@ -268,6 +278,17 @@ func (c *Client) QueryContext(ctx context.Context, v graph.NodeID) (Response, er
 					retErr = ErrBudgetExhausted
 					settled = true
 					return
+				}
+				if c.journal != nil {
+					// Persist the promotion before billing it (same barrier
+					// as commit): an append failure fails the query and
+					// leaves the entry speculative for a later retry.
+					if jerr := c.journal.RecordUpgrade(v, tn); jerr != nil {
+						c.led.mu.Unlock()
+						retErr = fmt.Errorf("osn: journaling speculative upgrade: %w", jerr)
+						settled = true
+						return
+					}
 				}
 				c.led.unique++
 				tl.unique++
@@ -375,6 +396,12 @@ func (c *Client) QueryContext(ctx context.Context, v graph.NodeID) (Response, er
 // cache nothing and bill nothing — the next demand retries.
 func (c *Client) commit(v graph.NodeID, f *inflight) {
 	c.state.Locked(v, func(s store.LockedShard[graph.NodeID, nodeState]) {
+		// Durability barrier: persist the fetch before any waiter can observe
+		// it or the ledger bills it. On append failure the fetch fails —
+		// nothing cached, nothing billed — and the next demand retries.
+		if jerr := c.journalFetch(v, f); jerr != nil {
+			f.err = jerr
+		}
 		c.led.mu.Lock()
 		if f.demand > 0 {
 			// The reservation resolves here — into a bill or a retry — on
@@ -634,6 +661,10 @@ func (c *Client) TenantBills() map[string]TenantBill {
 // Safe to raise mid-run to resume the tenant's exhausted jobs.
 func (c *Client) SetTenantBudget(name string, n int64) {
 	c.led.mu.Lock()
-	defer c.led.mu.Unlock()
 	c.led.tenantLocked(name).budget = n
+	c.led.mu.Unlock()
+	if c.journal != nil {
+		// Best-effort, as in SetBudget.
+		_ = c.journal.RecordTenantBudget(name, n)
+	}
 }

@@ -716,3 +716,77 @@ func TestHTTPErrorMapping(t *testing.T) {
 		t.Fatalf("replay past end: %d samples ending %q", len(samples), end.State)
 	}
 }
+
+// TestDurableCacheWarmRestart: with Options.CacheDir, a restarted daemon
+// reopens each backend's durable cache warm — the recovered ledger equals
+// the pre-restart bill, and re-running the identical job bills nothing new
+// while producing the identical samples.
+func TestDurableCacheWarmRestart(t *testing.T) {
+	const url = "mem:social?nodes=400&edges=1600&seed=17"
+	cacheDir := t.TempDir()
+	stateDir := t.TempDir()
+	// SRW: trajectory depends only on demanded neighbor lists, so the warm
+	// rerun is comparable sample-for-sample (MTO's Theorem 5 criterion
+	// legitimately uses extra cache knowledge and may rewire differently).
+	spec := JobSpec{Backend: url, Tenant: "crawler", Algorithm: "SRW", Samples: 1500, Seed: 4}
+
+	s1 := New(context.Background(), Options{CacheDir: cacheDir})
+	ts1 := httptest.NewServer(s1.Handler())
+	id := submitJob(t, ts1.URL, spec)
+	waitState(t, ts1.URL, id, StateDone)
+	coldSamples, _ := readStream(t, ts1.URL, id, 0, nil)
+	sb, err := s1.backend(context.Background(), url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bill := sb.provider.UniqueQueries()
+	if bill == 0 {
+		t.Fatal("cold job billed nothing")
+	}
+	if st, ok := sb.provider.DurableCacheStats(); !ok || st.Appends < bill {
+		t.Fatalf("durable stats %+v ok=%v, want >= %d appends", st, ok, bill)
+	}
+	if err := s1.SaveState(stateDir); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": same cache dir, fresh server. The backend reopens warm.
+	s2 := New(context.Background(), Options{CacheDir: cacheDir})
+	if err := s2.LoadState(stateDir); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		s2.Close()
+	})
+	sb2, err := s2.backend(context.Background(), url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sb2.provider.UniqueQueries(); got != bill {
+		t.Fatalf("recovered ledger = %d, want %d", got, bill)
+	}
+	if st, ok := sb2.provider.DurableCacheStats(); !ok || st.Entries == 0 {
+		t.Fatalf("reopened durable stats %+v ok=%v, want recovered entries", st, ok)
+	}
+
+	id2 := submitJob(t, ts2.URL, spec)
+	waitState(t, ts2.URL, id2, StateDone)
+	warmSamples, _ := readStream(t, ts2.URL, id2, 0, nil)
+	if len(warmSamples) != len(coldSamples) {
+		t.Fatalf("warm job drew %d samples, cold drew %d", len(warmSamples), len(coldSamples))
+	}
+	for i := range warmSamples {
+		if warmSamples[i] != coldSamples[i] {
+			t.Fatalf("warm sample %d = %+v, cold %+v", i, warmSamples[i], coldSamples[i])
+		}
+	}
+	if got := sb2.provider.UniqueQueries(); got != bill {
+		t.Fatalf("warm rerun billed %d new queries", got-bill)
+	}
+}

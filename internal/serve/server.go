@@ -2,8 +2,11 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"slices"
 	"sync"
 
@@ -46,6 +49,13 @@ type Options struct {
 	// MaxJobsPerTenant caps a tenant's simultaneously live (running or
 	// paused) jobs; 0 = unlimited.
 	MaxJobsPerTenant int
+	// CacheDir, when set, gives every opened backend a durable write-ahead-
+	// logged cache in a per-URL subdirectory: committed fetches persist
+	// before they are served, and a restarted daemon reopens each backend
+	// warm — replayed entries are cache hits, never re-billed, so resumed
+	// checkpointed jobs continue their trajectories without re-paying for
+	// topology any tenant already demanded.
+	CacheDir string
 }
 
 // sharedBackend is the one-per-URL provider stack every job on that URL
@@ -181,6 +191,18 @@ func (s *Server) backend(ctx context.Context, url string) (*sharedBackend, error
 		fresh.provider.Close()
 		return won, nil
 	}
+	if s.opts.CacheDir != "" {
+		// Attach under s.mu, before publication: the replay must land in a
+		// still-fresh client, and serializing here guarantees exactly one
+		// racing first-opener ever takes the directory's flock (the loser
+		// closed its stack above without touching the cache). The cost is a
+		// local-disk replay inside the lock, paid once per backend URL.
+		if err := fresh.provider.AttachDurableCache(filepath.Join(s.opts.CacheDir, cacheSubdir(url))); err != nil {
+			s.mu.Unlock()
+			fresh.provider.Close()
+			return nil, fmt.Errorf("serve: opening durable cache for %s: %w", url, err)
+		}
+	}
 	s.backends[url] = fresh
 	for tenant, perURL := range s.budgets {
 		if n, ok := perURL[url]; ok {
@@ -189,6 +211,15 @@ func (s *Server) backend(ctx context.Context, url string) (*sharedBackend, error
 	}
 	s.mu.Unlock()
 	return fresh, nil
+}
+
+// cacheSubdir names the per-URL durable cache directory. URLs contain
+// characters no filesystem path wants (slashes, query strings), so the name
+// is a content hash: stable across restarts, collision-free in practice,
+// and opaque on purpose — the manifest inside the directory is the state.
+func cacheSubdir(url string) string {
+	sum := sha256.Sum256([]byte(url))
+	return "be-" + hex.EncodeToString(sum[:8])
 }
 
 // setTenantBudget records (durably) and applies the tenant's cap on url.

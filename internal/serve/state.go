@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"rewire"
+	"rewire/internal/durable"
 )
 
 // jobRecord is the on-disk form of one job: everything needed to re-present
@@ -37,8 +38,9 @@ type serverRecord struct {
 // SaveState writes the server's durable state into dir: one job-<id>.json
 // per job plus server.json. Call it after Drain — a drained server has no
 // running jobs, so every record is settled (paused jobs carry their
-// checkpoints). Files are written via a temp-and-rename so a crash mid-save
-// never leaves a half-written record.
+// checkpoints). Files are written via the durable package's fsync'd
+// temp-and-rename, so a crash mid-save — even a power cut — never leaves a
+// half-written or missing record where a complete one existed.
 func (s *Server) SaveState(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("serve: creating state dir: %w", err)
@@ -86,16 +88,17 @@ func (s *Server) SaveState(dir string) error {
 	return writeFileAtomic(filepath.Join(dir, "server.json"), rec)
 }
 
+// writeFileAtomic encodes v and commits it through durable.WriteFileAtomic —
+// unique temp file, fsync, rename, directory fsync. The old fixed-name
+// ".tmp" + rename here survived process crashes but not power loss (nothing
+// was synced), and racing savers could clobber each other's temp file; both
+// holes closed by unifying on the durable helper.
 func writeFileAtomic(path string, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return fmt.Errorf("serve: encoding %s: %w", filepath.Base(path), err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("serve: writing %s: %w", filepath.Base(path), err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := durable.WriteFileAtomic(path, data, 0o644); err != nil {
 		return fmt.Errorf("serve: committing %s: %w", filepath.Base(path), err)
 	}
 	return nil

@@ -124,12 +124,23 @@ func newSession(src Source, cfg config) (*Session, error) {
 	// the capability probes — prefetch hints, free cached-degree reads for
 	// Theorem 5 — find the real implementations.
 	var inner walk.Source = src
+	if s.provider == nil && cfg.cacheDir != "" {
+		return nil, fmt.Errorf("rewire: WithDurableCache needs a Provider source (a GraphSource has no billed cache to persist)")
+	}
 	if s.provider != nil {
 		inner = s.provider.client
 		if cfg.shards > 0 {
 			// The client is still idle (sessions are constructed before any
 			// run), so re-bucketing its store is cheap and race-free.
 			s.provider.client.Reshard(cfg.shards)
+		}
+		if cfg.cacheDir != "" {
+			// After the reshard: seeding replays straight into the final
+			// bucket layout. Reshard preserves entries either way, but the
+			// order keeps the one-time replay from being moved twice.
+			if err := s.provider.AttachDurableCache(cfg.cacheDir); err != nil {
+				return nil, err
+			}
 		}
 	}
 	s.bound = walk.NewBound(inner)

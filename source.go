@@ -6,6 +6,7 @@ import (
 	"slices"
 	"time"
 
+	"rewire/internal/durable"
 	"rewire/internal/osn"
 )
 
@@ -121,7 +122,8 @@ type PrefetchStats = osn.PrefetchStats
 type Provider struct {
 	svc     *osn.Service // non-nil only for simulated backends
 	client  *osn.Client
-	backend Backend // nil for the legacy Simulate construction path
+	backend Backend        // nil for the legacy Simulate construction path
+	durable *durable.Cache // non-nil once a durable cache is attached
 }
 
 // Simulate wraps g in a simulated provider under the given limits. It is the
@@ -147,6 +149,17 @@ func BackendSource(b Backend) *Provider {
 		// simulation telemetry exactly like the Simulate constructor.
 		p.svc = sb.svc
 	}
+	if cb, ok := backendAs[*cacheBackend](b); ok {
+		// A cache: backend carries an opened durable cache; replay its
+		// recovered state into the fresh client and journal from here on.
+		// Attach can only fail on a client that already served queries or a
+		// cache already wired to another provider — programmer errors on the
+		// order of a duplicate Register, so they panic the same way.
+		if err := cb.cache.Attach(p.client); err != nil {
+			panic("rewire: attaching durable cache backend: " + err.Error())
+		}
+		p.durable = cb.cache
+	}
 	return p
 }
 
@@ -156,14 +169,25 @@ func BackendSource(b Backend) *Provider {
 func (p *Provider) Backend() Backend { return p.backend }
 
 // Close releases resources held by the backend chain (snapshot mappings,
-// idle HTTP connections). The provider's cache and ledger survive Close —
-// but fetches after it will fail for backends that needed those resources.
-// Providers over purely in-memory backends make Close a no-op.
+// idle HTTP connections) and, when a durable cache is attached, seals its
+// write-ahead log and releases the directory lock. The provider's in-memory
+// cache and ledger survive Close — but fetches after it will fail for
+// backends that needed those resources, and nothing is journaled anymore.
+// Providers over purely in-memory backends without a durable cache make
+// Close a no-op.
 func (p *Provider) Close() error {
-	if p.backend == nil {
-		return nil
+	var first error
+	if p.durable != nil {
+		// Idempotent: for cache: backends the chain walk below reaches the
+		// same cache again through cacheBackend.Close, which is then a no-op.
+		first = p.durable.Close()
 	}
-	return closeBackend(p.backend)
+	if p.backend != nil {
+		if err := closeBackend(p.backend); first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Neighbors returns v's neighbor list, querying (and billing) on a cache
