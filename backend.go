@@ -198,12 +198,13 @@ func WithRetry(b Backend, o RetryOptions) Backend {
 	if o.MaxDelay <= 0 {
 		o.MaxDelay = 5 * time.Second
 	}
-	return &retryBackend{inner: b, opt: o}
+	return &retryBackend{inner: b, partial: partialFetchFunc(b), opt: o}
 }
 
 type retryBackend struct {
-	inner Backend
-	opt   RetryOptions
+	inner   Backend
+	partial func(context.Context, []NodeID) ([][]NodeID, []error, error)
+	opt     RetryOptions
 }
 
 func (r *retryBackend) Unwrap() Backend { return r.inner }
@@ -211,37 +212,75 @@ func (r *retryBackend) Unwrap() Backend { return r.inner }
 func (r *retryBackend) Fetch(ctx context.Context, ids []NodeID) ([][]NodeID, error) {
 	var lastErr error
 	for attempt := 1; attempt <= r.opt.MaxAttempts; attempt++ {
-		if attempt > 1 {
-			d := r.opt.BaseDelay << (attempt - 2)
-			if d > r.opt.MaxDelay || d <= 0 {
-				d = r.opt.MaxDelay
-			}
-			d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
-			t := time.NewTimer(d)
-			select {
-			case <-ctx.Done():
-				t.Stop()
-				return nil, ctx.Err()
-			case <-t.C:
-			}
+		if err := r.wait(ctx, attempt); err != nil {
+			return nil, err
 		}
 		lists, err := r.inner.Fetch(ctx, ids)
 		if err == nil {
 			return lists, nil
 		}
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		if errors.Is(err, ErrNoSuchUser) {
-			return nil, err
-		}
-		var tmp interface{ Temporary() bool }
-		if errors.As(err, &tmp) && !tmp.Temporary() {
-			return nil, err
+		if stop, serr := r.sieve(ctx, err); stop {
+			return nil, serr
 		}
 		lastErr = err
 	}
 	return nil, fmt.Errorf("rewire: %d fetch attempts exhausted: %w", r.opt.MaxAttempts, lastErr)
+}
+
+// FetchPartial applies the same retry policy to the per-id fetch path, so a
+// coalescing dispatcher probing through this wrapper still gets retries.
+// Only whole-batch failures are retried; per-id errors are final answers.
+func (r *retryBackend) FetchPartial(ctx context.Context, ids []NodeID) ([][]NodeID, []error, error) {
+	var lastErr error
+	for attempt := 1; attempt <= r.opt.MaxAttempts; attempt++ {
+		if err := r.wait(ctx, attempt); err != nil {
+			return nil, nil, err
+		}
+		lists, errs, err := r.partial(ctx, ids)
+		if err == nil {
+			return lists, errs, nil
+		}
+		if stop, serr := r.sieve(ctx, err); stop {
+			return nil, nil, serr
+		}
+		lastErr = err
+	}
+	return nil, nil, fmt.Errorf("rewire: %d fetch attempts exhausted: %w", r.opt.MaxAttempts, lastErr)
+}
+
+// wait sleeps out the backoff before attempt n (no-op for the first).
+func (r *retryBackend) wait(ctx context.Context, attempt int) error {
+	if attempt <= 1 {
+		return nil
+	}
+	d := r.opt.BaseDelay << (attempt - 2)
+	if d > r.opt.MaxDelay || d <= 0 {
+		d = r.opt.MaxDelay
+	}
+	d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	t := time.NewTimer(d)
+	select {
+	case <-ctx.Done():
+		t.Stop()
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// sieve classifies a Fetch error: stop (with the error to return) or retry.
+func (r *retryBackend) sieve(ctx context.Context, err error) (bool, error) {
+	if ctx.Err() != nil {
+		return true, ctx.Err()
+	}
+	if errors.Is(err, ErrNoSuchUser) {
+		return true, err
+	}
+	var tmp interface{ Temporary() bool }
+	if errors.As(err, &tmp) && !tmp.Temporary() {
+		return true, err
+	}
+	return false, nil
 }
 
 // WithRateLimit wraps b with a client-side token bucket: at most rps
@@ -256,18 +295,20 @@ func WithRateLimit(b Backend, rps float64, burst int) Backend {
 		return b
 	}
 	return &rateLimitBackend{
-		inner:  b,
-		rps:    rps,
-		burst:  float64(burst),
-		tokens: float64(burst),
-		last:   time.Now(),
+		inner:   b,
+		partial: partialFetchFunc(b),
+		rps:     rps,
+		burst:   float64(burst),
+		tokens:  float64(burst),
+		last:    time.Now(),
 	}
 }
 
 type rateLimitBackend struct {
-	inner Backend
-	rps   float64
-	burst float64
+	inner   Backend
+	partial func(context.Context, []NodeID) ([][]NodeID, []error, error)
+	rps     float64
+	burst   float64
 
 	mu     sync.Mutex
 	tokens float64
@@ -293,6 +334,24 @@ func (r *rateLimitBackend) take(now time.Time) time.Duration {
 }
 
 func (r *rateLimitBackend) Fetch(ctx context.Context, ids []NodeID) ([][]NodeID, error) {
+	if err := r.block(ctx); err != nil {
+		return nil, err
+	}
+	return r.inner.Fetch(ctx, ids)
+}
+
+// FetchPartial charges the bucket exactly like Fetch — one token per
+// round-trip, however many ids it coalesces — so a dispatcher probing through
+// this wrapper cannot sidestep the limiter.
+func (r *rateLimitBackend) FetchPartial(ctx context.Context, ids []NodeID) ([][]NodeID, []error, error) {
+	if err := r.block(ctx); err != nil {
+		return nil, nil, err
+	}
+	return r.partial(ctx, ids)
+}
+
+// block waits out the token reservation, honoring ctx.
+func (r *rateLimitBackend) block(ctx context.Context) error {
 	if wait := r.take(time.Now()); wait > 0 {
 		t := time.NewTimer(wait)
 		select {
@@ -304,11 +363,11 @@ func (r *rateLimitBackend) Fetch(ctx context.Context, ids []NodeID) ([][]NodeID,
 			r.mu.Lock()
 			r.tokens++
 			r.mu.Unlock()
-			return nil, ctx.Err()
+			return ctx.Err()
 		case <-t.C:
 		}
 	}
-	return r.inner.Fetch(ctx, ids)
+	return nil
 }
 
 // BackendMetrics accumulates fetch telemetry for a WithMetrics wrapper. All
@@ -318,6 +377,11 @@ type BackendMetrics struct {
 	ids      atomic.Int64
 	failures atomic.Int64
 	nanos    atomic.Int64
+	// sizeBuckets is a power-of-two batch-size histogram: bucket 0 counts
+	// single-id fetches, bucket i fetches of (2^(i-1), 2^i] ids, the last
+	// bucket everything larger. It makes coalescing visible: a dispatcher
+	// doing its job moves mass out of bucket 0.
+	sizeBuckets [8]atomic.Int64
 }
 
 // MetricsSnapshot is a point-in-time copy of a BackendMetrics.
@@ -327,16 +391,24 @@ type MetricsSnapshot struct {
 	Fetches, IDs, Failures int64
 	// Total is the summed wall-clock of all Fetch calls.
 	Total time.Duration
+	// BatchSizeBuckets is a power-of-two histogram of ids per Fetch:
+	// bucket 0 counts single-id calls, bucket i calls of (2^(i-1), 2^i] ids
+	// (2, ≤4, ≤8, ≤16, ≤32, ≤64), the last bucket everything above 64.
+	BatchSizeBuckets [8]int64
 }
 
 // Snapshot returns the current counters.
 func (m *BackendMetrics) Snapshot() MetricsSnapshot {
-	return MetricsSnapshot{
+	s := MetricsSnapshot{
 		Fetches:  m.fetches.Load(),
 		IDs:      m.ids.Load(),
 		Failures: m.failures.Load(),
 		Total:    time.Duration(m.nanos.Load()),
 	}
+	for i := range m.sizeBuckets {
+		s.BatchSizeBuckets[i] = m.sizeBuckets[i].Load()
+	}
+	return s
 }
 
 // WithMetrics wraps b so every Fetch updates m. Nil m allocates a fresh one;
@@ -346,12 +418,13 @@ func WithMetrics(b Backend, m *BackendMetrics) Backend {
 	if m == nil {
 		m = &BackendMetrics{}
 	}
-	return &metricsBackend{inner: b, m: m}
+	return &metricsBackend{inner: b, partial: partialFetchFunc(b), m: m}
 }
 
 type metricsBackend struct {
-	inner Backend
-	m     *BackendMetrics
+	inner   Backend
+	partial func(context.Context, []NodeID) ([][]NodeID, []error, error)
+	m       *BackendMetrics
 }
 
 func (mb *metricsBackend) Unwrap() Backend          { return mb.inner }
@@ -362,9 +435,30 @@ func (mb *metricsBackend) Fetch(ctx context.Context, ids []NodeID) ([][]NodeID, 
 	lists, err := mb.inner.Fetch(ctx, ids)
 	mb.m.fetches.Add(1)
 	mb.m.ids.Add(int64(len(ids)))
+	if len(ids) > 0 {
+		mb.m.sizeBuckets[batchSizeBucket(len(ids))].Add(1)
+	}
 	mb.m.nanos.Add(time.Since(start).Nanoseconds())
 	if err != nil {
 		mb.m.failures.Add(1)
 	}
 	return lists, err
+}
+
+// FetchPartial meters the per-id fetch path identically to Fetch, so batches
+// a coalescing dispatcher sends through this wrapper land in the counters
+// and the size histogram. Only a whole-batch error counts as a failure.
+func (mb *metricsBackend) FetchPartial(ctx context.Context, ids []NodeID) ([][]NodeID, []error, error) {
+	start := time.Now()
+	lists, errs, err := mb.partial(ctx, ids)
+	mb.m.fetches.Add(1)
+	mb.m.ids.Add(int64(len(ids)))
+	if len(ids) > 0 {
+		mb.m.sizeBuckets[batchSizeBucket(len(ids))].Add(1)
+	}
+	mb.m.nanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		mb.m.failures.Add(1)
+	}
+	return lists, errs, err
 }

@@ -1,0 +1,425 @@
+package rewire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"slices"
+	"sync"
+	"time"
+)
+
+// BatchingOptions tunes WithBatching. The zero value of every field selects
+// its default.
+type BatchingOptions struct {
+	// MaxBatch caps the ids one dispatched backend Fetch carries; a full
+	// window flushes immediately (default 64).
+	MaxBatch int
+	// MaxWait bounds how long a demanded id sits in the coalescing window
+	// while other dispatches are in flight: when the window cannot flush
+	// immediately, a timer flushes whatever has accumulated after MaxWait
+	// (default 2ms). An id arriving at an idle dispatcher never waits at all.
+	MaxWait time.Duration
+	// MaxInflight caps concurrently dispatched backend Fetches — the bounded
+	// parallelism an oversized caller batch is chunked across (default 4).
+	MaxInflight int
+}
+
+func (o *BatchingOptions) withDefaults() {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 4
+	}
+}
+
+// PartialFetcher is the optional Backend capability of resolving a batch
+// id-by-id: lists[i] is valid where errs[i] is nil, and a per-id failure
+// (ErrNoSuchUser, typically) leaves its co-batched ids untouched. The batch
+// error is non-nil only when the round-trip as a whole failed, in which case
+// lists and errs are meaningless. The HTTP driver implements it over
+// POST /neighbors/batch; the coalescing dispatcher probes for it so one
+// walker demanding an unknown id never fails the strangers batched alongside.
+type PartialFetcher interface {
+	FetchPartial(ctx context.Context, ids []NodeID) ([][]NodeID, []error, error)
+}
+
+// BatchStats counts a WithBatching dispatcher's activity. Flush counters
+// attribute each dispatched batch to the rule that released it: a full
+// window, an idle dispatcher (no wait at all), the MaxWait timer, or the
+// drain when a previous dispatch completed.
+type BatchStats struct {
+	// Batches and IDs count dispatched backend Fetches and the ids they
+	// carried (IDs/Batches is the achieved coalescing factor).
+	Batches, IDs int64
+	// FlushFull, FlushIdle, FlushTimer, FlushDrain split Batches by flush
+	// rule.
+	FlushFull, FlushIdle, FlushTimer, FlushDrain int64
+	// Withdrawn counts ids whose demander cancelled before its result
+	// arrived — removed from the window, or struck from an in-flight batch
+	// (the wire request itself is cancelled once every id on it withdraws).
+	Withdrawn int64
+}
+
+// BatchStatser is the optional Backend capability of reporting batch-dispatch
+// statistics; WithBatching's backend implements it.
+type BatchStatser interface {
+	BatchStats() BatchStats
+}
+
+// BackendAs resolves capability T anywhere on b's Unwrap chain, outermost
+// first — the public face of the probing Open and BackendSource do
+// internally. Use it to reach a wrapped backend's extras (a WithMetrics
+// Metrics method, a WithBatching BatchStatser, a driver-specific statistics
+// interface) without caring how the middleware is stacked.
+func BackendAs[T any](b Backend) (T, bool) {
+	return backendAs[T](b)
+}
+
+// WithBatching wraps b with a demand-coalescing dispatcher: concurrent
+// Fetches — distinct walkers missing their cache, prefetch workers, batch
+// queries — accumulate into a bounded window and go to b as one multi-id
+// Fetch, fanning the results back to each waiter. For a request-metered
+// provider this turns k simultaneous misses into one round-trip.
+//
+// Flush policy: a window holding MaxBatch ids flushes immediately; an id
+// arriving at an idle dispatcher (nothing in flight) dispatches at once, so
+// a lone walker pays zero added latency; otherwise ids wait — at most
+// MaxWait, and usually less, because completing a dispatch drains whatever
+// accumulated behind it (the fleet self-clocks into pipelined batches).
+// Oversized caller batches are chunked into MaxBatch dispatches run with at
+// most MaxInflight in flight.
+//
+// Semantics are exactly Backend's: per-caller results in input order, batch
+// error on any per-id failure, provable trajectory- and billing-neutrality
+// (the provider's cache, singleflight, and ledger sit above this layer and
+// never see coalescing). Cancelling a caller's ctx withdraws its ids: from
+// the window when undispatched, and from the in-flight batch's waiter count
+// otherwise — the wire request is cancelled once every id on it withdraws.
+// If b implements PartialFetcher, per-id errors strike only their own
+// waiters; otherwise a batch that fails with ErrNoSuchUser is re-resolved
+// id-by-id so co-batched strangers still get answers.
+//
+// The dispatcher holds no goroutines while idle and needs no Close of its
+// own; Close on the returned backend's chain reaches b as usual.
+func WithBatching(b Backend, o BatchingOptions) Backend {
+	o.withDefaults()
+	return &batchingBackend{inner: b, fetch: partialFetchFunc(b), opt: o}
+}
+
+// partialFetchFunc resolves the per-id fetch the dispatcher uses: b's own
+// PartialFetcher capability when it has one, else a fallback that keeps
+// Fetch's batch-wide contract but isolates ErrNoSuchUser failures with
+// single-id re-fetches so one unknown id cannot poison a coalesced batch.
+func partialFetchFunc(b Backend) func(context.Context, []NodeID) ([][]NodeID, []error, error) {
+	if pf, ok := backendAs[PartialFetcher](b); ok {
+		return pf.FetchPartial
+	}
+	return func(ctx context.Context, ids []NodeID) ([][]NodeID, []error, error) {
+		lists, err := b.Fetch(ctx, ids)
+		if err == nil {
+			return lists, nil, nil
+		}
+		if len(ids) == 1 || !errors.Is(err, ErrNoSuchUser) {
+			return nil, nil, err
+		}
+		lists = make([][]NodeID, len(ids))
+		errs := make([]error, len(ids))
+		for i, v := range ids {
+			l, e := b.Fetch(ctx, []NodeID{v})
+			switch {
+			case e == nil && len(l) == 1:
+				lists[i] = l[0]
+			case e == nil:
+				return nil, nil, fmt.Errorf("rewire: backend returned %d lists for 1 id", len(l))
+			case errors.Is(e, ErrNoSuchUser):
+				errs[i] = e
+			default:
+				return nil, nil, e
+			}
+		}
+		return lists, errs, nil
+	}
+}
+
+// batchSlot is one demanded id's place in the dispatcher: filled in by the
+// batch goroutine, published by closing done. b is set (under the
+// dispatcher's mu) when the slot leaves the window for a dispatched batch.
+type batchSlot struct {
+	id   NodeID
+	base context.Context // detached demander ctx; parents the batch ctx
+	done chan struct{}
+	list []NodeID
+	err  error
+	b    *dispatchedBatch
+}
+
+// dispatchedBatch tracks one in-flight backend Fetch's live waiters. All
+// fields are guarded by the dispatcher's mu except the final cancel call.
+type dispatchedBatch struct {
+	live   int // slots not withdrawn
+	cancel context.CancelFunc
+	dead   bool // live hit 0 before cancel was installed
+}
+
+// flush reasons, indexing into stats.
+const (
+	flushFull = iota
+	flushIdle
+	flushTimer
+	flushDrain
+)
+
+type batchingBackend struct {
+	inner Backend
+	fetch func(context.Context, []NodeID) ([][]NodeID, []error, error)
+	opt   BatchingOptions
+
+	mu       sync.Mutex
+	pending  []*batchSlot
+	inflight int
+	timerOn  bool
+	timerGen int
+	stats    BatchStats
+}
+
+func (c *batchingBackend) Unwrap() Backend { return c.inner }
+
+// BatchStats returns the dispatch counters so far.
+func (c *batchingBackend) BatchStats() BatchStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *batchingBackend) Fetch(ctx context.Context, ids []NodeID) ([][]NodeID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return [][]NodeID{}, nil
+	}
+	// The batch ctx must outlive any single demander (other waiters may share
+	// the dispatch) but keep the demander's values — tenant attribution,
+	// traces — so each slot carries a detached parent.
+	base := context.WithoutCancel(ctx)
+	slots := make([]*batchSlot, len(ids))
+	c.mu.Lock()
+	for i, v := range ids {
+		s := &batchSlot{id: v, base: base, done: make(chan struct{})}
+		slots[i] = s
+		c.pending = append(c.pending, s)
+	}
+	batches := c.takeLocked(false, flushIdle)
+	c.armTimerLocked()
+	c.mu.Unlock()
+	c.launch(batches)
+
+	out := make([][]NodeID, len(ids))
+	for i, s := range slots {
+		select {
+		case <-s.done:
+			if s.err != nil {
+				c.withdraw(slots[i+1:])
+				return nil, s.err
+			}
+			out[i] = s.list
+		case <-ctx.Done():
+			c.withdraw(slots[i:])
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// takeLocked carves dispatchable batches off the window under the flush
+// policy: a MaxBatch-full prefix always goes; a partial window goes when the
+// dispatcher is idle, or when force is set (the MaxWait timer and the
+// completion drain). MaxInflight bounds how much leaves. Callers hold c.mu
+// and pass the result to launch after unlocking.
+func (c *batchingBackend) takeLocked(force bool, reason int) []*launchBatch {
+	var out []*launchBatch
+	for len(c.pending) > 0 && c.inflight < c.opt.MaxInflight {
+		why := reason
+		if len(c.pending) < c.opt.MaxBatch {
+			if c.inflight > 0 || len(out) > 0 {
+				if !force {
+					break
+				}
+			}
+		} else {
+			why = flushFull
+		}
+		n := min(len(c.pending), c.opt.MaxBatch)
+		slots := slices.Clone(c.pending[:n])
+		c.pending = slices.Delete(c.pending, 0, n)
+		db := &dispatchedBatch{live: n}
+		for _, s := range slots {
+			s.b = db
+		}
+		c.inflight++
+		c.stats.Batches++
+		c.stats.IDs += int64(n)
+		switch why {
+		case flushFull:
+			c.stats.FlushFull++
+		case flushIdle:
+			c.stats.FlushIdle++
+		case flushTimer:
+			c.stats.FlushTimer++
+		case flushDrain:
+			c.stats.FlushDrain++
+		}
+		out = append(out, &launchBatch{slots: slots, db: db})
+	}
+	if len(c.pending) == 0 && c.timerOn {
+		// Nothing left for the armed timer to flush; retire it.
+		c.timerGen++
+		c.timerOn = false
+	}
+	return out
+}
+
+// armTimerLocked schedules a MaxWait flush for the window's residue. Callers
+// hold c.mu.
+func (c *batchingBackend) armTimerLocked() {
+	if c.timerOn || len(c.pending) == 0 {
+		return
+	}
+	c.timerOn = true
+	gen := c.timerGen
+	time.AfterFunc(c.opt.MaxWait, func() { c.timerFire(gen) })
+}
+
+// timerFire is the MaxWait flush: dispatch whatever accumulated, even while
+// other batches are in flight.
+func (c *batchingBackend) timerFire(gen int) {
+	c.mu.Lock()
+	if gen != c.timerGen {
+		c.mu.Unlock()
+		return
+	}
+	c.timerGen++
+	c.timerOn = false
+	batches := c.takeLocked(true, flushTimer)
+	c.armTimerLocked() // MaxInflight may have stranded a residue
+	c.mu.Unlock()
+	c.launch(batches)
+}
+
+type launchBatch struct {
+	slots []*batchSlot
+	db    *dispatchedBatch
+}
+
+// launch starts one goroutine per taken batch. Runs outside c.mu: deriving
+// the cancellable batch ctx is a context call, and nothing here needs the
+// window state.
+func (c *batchingBackend) launch(batches []*launchBatch) {
+	for _, lb := range batches {
+		bctx, cancel := context.WithCancel(lb.slots[0].base)
+		c.mu.Lock()
+		lb.db.cancel = cancel
+		dead := lb.db.dead
+		c.mu.Unlock()
+		if dead {
+			// Every waiter withdrew between take and launch: skip the wire.
+			cancel()
+			c.finish()
+			continue
+		}
+		go c.run(bctx, cancel, lb)
+	}
+}
+
+// run performs one dispatched backend fetch and fans results out. It owns
+// the slots' result fields until it closes their done channels.
+func (c *batchingBackend) run(ctx context.Context, cancel context.CancelFunc, lb *launchBatch) {
+	ids := make([]NodeID, len(lb.slots))
+	for i, s := range lb.slots {
+		ids[i] = s.id
+	}
+	lists, errs, err := c.fetch(ctx, ids)
+	if err == nil && len(lists) != len(ids) {
+		err = fmt.Errorf("rewire: backend returned %d lists for %d ids", len(lists), len(ids))
+	}
+	for i, s := range lb.slots {
+		switch {
+		case err != nil:
+			s.err = err
+		case errs != nil && errs[i] != nil:
+			s.err = errs[i]
+		default:
+			s.list = lists[i]
+		}
+	}
+	for _, s := range lb.slots {
+		close(s.done)
+	}
+	cancel()
+	c.finish()
+}
+
+// finish releases a dispatch slot and drains the window behind it — the
+// self-clocking flush that pipelines a busy fleet without timer waits.
+func (c *batchingBackend) finish() {
+	c.mu.Lock()
+	c.inflight--
+	batches := c.takeLocked(true, flushDrain)
+	c.armTimerLocked()
+	c.mu.Unlock()
+	c.launch(batches)
+}
+
+// withdraw removes a cancelled caller's unresolved slots: pending ones leave
+// the window; dispatched ones decrement their batch's live count, and the
+// last withdrawal cancels the wire request itself. A slot that resolved
+// concurrently is past caring — the extra decrement only ever cancels a
+// batch whose run has already returned.
+func (c *batchingBackend) withdraw(slots []*batchSlot) {
+	if len(slots) == 0 {
+		return
+	}
+	var cancels []context.CancelFunc
+	c.mu.Lock()
+	for _, s := range slots {
+		c.stats.Withdrawn++
+		if s.b == nil {
+			if i := slices.Index(c.pending, s); i >= 0 {
+				c.pending = slices.Delete(c.pending, i, i+1)
+			}
+			continue
+		}
+		s.b.live--
+		if s.b.live == 0 {
+			if s.b.cancel != nil {
+				cancels = append(cancels, s.b.cancel)
+			} else {
+				s.b.dead = true
+			}
+		}
+	}
+	if len(c.pending) == 0 && c.timerOn {
+		c.timerGen++
+		c.timerOn = false
+	}
+	c.mu.Unlock()
+	for _, f := range cancels {
+		f()
+	}
+}
+
+// batchSizeBucket indexes the power-of-two histogram in BackendMetrics:
+// bucket i holds batches of (2^(i-1), 2^i] ids, the last bucket everything
+// larger.
+func batchSizeBucket(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return min(len(MetricsSnapshot{}.BatchSizeBuckets)-1, bits.Len(uint(n-1)))
+}

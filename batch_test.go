@@ -1,0 +1,583 @@
+package rewire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rewire/internal/osn"
+)
+
+// ringBackend is the coalescer tests' inner backend: a ring graph with
+// instrumented Fetch (call log, concurrency high-water mark, an optional
+// gate that holds every call until released, an optional per-call delay).
+type ringBackend struct {
+	n     int
+	gate  chan struct{} // non-nil: each Fetch receives once before answering
+	delay time.Duration
+
+	mu       sync.Mutex
+	calls    [][]NodeID
+	inflight int
+	maxInfl  int
+}
+
+func (f *ringBackend) neighbors(v NodeID) []NodeID {
+	n := NodeID(f.n)
+	return []NodeID{(v + 1) % n, (v + n - 1) % n}
+}
+
+func (f *ringBackend) Fetch(ctx context.Context, ids []NodeID) ([][]NodeID, error) {
+	f.mu.Lock()
+	f.calls = append(f.calls, slices.Clone(ids))
+	f.inflight++
+	if f.inflight > f.maxInfl {
+		f.maxInfl = f.inflight
+	}
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.inflight--
+		f.mu.Unlock()
+	}()
+	if f.gate != nil {
+		select {
+		case <-f.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	out := make([][]NodeID, len(ids))
+	for i, v := range ids {
+		if v < 0 || int(v) >= f.n {
+			return nil, fmt.Errorf("%w: id %d", ErrNoSuchUser, v)
+		}
+		out[i] = f.neighbors(v)
+	}
+	return out, nil
+}
+
+func (f *ringBackend) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}
+
+func batchStats(t *testing.T, b Backend) BatchStats {
+	t.Helper()
+	bs, ok := BackendAs[BatchStatser](b)
+	if !ok {
+		t.Fatal("WithBatching backend does not expose BatchStats")
+	}
+	return bs.BatchStats()
+}
+
+// TestBatchingIdleDispatchesImmediately pins the zero-added-latency
+// guarantee: a lone demand on an idle dispatcher goes straight to the wire,
+// no window wait.
+func TestBatchingIdleDispatchesImmediately(t *testing.T) {
+	inner := &ringBackend{n: 64}
+	// An hour-long MaxWait: if the idle path waited on the timer at all, the
+	// test would hang instead of pass.
+	b := WithBatching(inner, BatchingOptions{MaxWait: time.Hour})
+	lists, err := b.Fetch(context.Background(), []NodeID{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(lists[0], inner.neighbors(7)) {
+		t.Fatalf("lists[0] = %v, want %v", lists[0], inner.neighbors(7))
+	}
+	st := batchStats(t, b)
+	if st.Batches != 1 || st.FlushIdle != 1 || st.IDs != 1 {
+		t.Fatalf("stats = %+v, want one idle-flushed single-id batch", st)
+	}
+}
+
+// TestBatchingCoalescesConcurrentDemand is the tentpole's core property:
+// k concurrent single-id misses become far fewer backend round-trips, each
+// caller still getting exactly its own answer.
+func TestBatchingCoalescesConcurrentDemand(t *testing.T) {
+	const k = 32
+	inner := &ringBackend{n: 256, delay: 2 * time.Millisecond}
+	b := WithBatching(inner, BatchingOptions{MaxBatch: 16, MaxWait: time.Millisecond, MaxInflight: 2})
+	var wg sync.WaitGroup
+	errc := make(chan error, k)
+	for i := range k {
+		wg.Add(1)
+		go func(v NodeID) {
+			defer wg.Done()
+			lists, err := b.Fetch(context.Background(), []NodeID{v})
+			if err != nil {
+				errc <- err
+				return
+			}
+			if !slices.Equal(lists[0], inner.neighbors(v)) {
+				errc <- fmt.Errorf("id %d: got %v", v, lists[0])
+			}
+		}(NodeID(i * 3))
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := batchStats(t, b)
+	if st.IDs != k {
+		t.Fatalf("dispatched %d ids, want %d", st.IDs, k)
+	}
+	if got := inner.callCount(); got >= k {
+		t.Fatalf("%d concurrent misses produced %d round-trips — no coalescing", k, got)
+	}
+	if int64(inner.callCount()) != st.Batches {
+		t.Fatalf("stats claim %d batches, backend saw %d", st.Batches, inner.callCount())
+	}
+}
+
+// TestBatchingOversizedFetchChunksInOrder: a caller batch far over MaxBatch
+// is chunked, capped at MaxInflight concurrent dispatches, and reassembled
+// in input order.
+func TestBatchingOversizedFetchChunksInOrder(t *testing.T) {
+	inner := &ringBackend{n: 512, delay: time.Millisecond}
+	b := WithBatching(inner, BatchingOptions{MaxBatch: 8, MaxWait: time.Millisecond, MaxInflight: 3})
+	ids := make([]NodeID, 100)
+	for i := range ids {
+		ids[i] = NodeID((i * 5) % 512)
+	}
+	lists, err := b.Fetch(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ids {
+		if !slices.Equal(lists[i], inner.neighbors(v)) {
+			t.Fatalf("lists[%d] (id %d) = %v, want %v", i, v, lists[i], inner.neighbors(v))
+		}
+	}
+	inner.mu.Lock()
+	maxInfl := inner.maxInfl
+	inner.mu.Unlock()
+	if maxInfl > 3 {
+		t.Fatalf("backend saw %d concurrent fetches, cap is 3", maxInfl)
+	}
+	if st := batchStats(t, b); st.FlushFull == 0 {
+		t.Fatalf("stats = %+v, want full-window flushes for an oversized batch", st)
+	}
+}
+
+// TestBatchingMaxWaitFlushesBehindInflight: while a dispatch is in flight,
+// newly accumulated demand must not wait for it longer than MaxWait — the
+// timer flushes the window alongside.
+func TestBatchingMaxWaitFlushesBehindInflight(t *testing.T) {
+	inner := &ringBackend{n: 64, gate: make(chan struct{})}
+	b := WithBatching(inner, BatchingOptions{MaxBatch: 16, MaxWait: 5 * time.Millisecond, MaxInflight: 4})
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := b.Fetch(context.Background(), []NodeID{1})
+		first <- err
+	}()
+	// Wait until the first demand is on the wire (holding the gate).
+	deadline := time.Now().Add(5 * time.Second)
+	for inner.callCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first dispatch never reached the backend")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// The second demand lands in a non-idle window; only the MaxWait timer
+	// can flush it while the first call blocks on the gate.
+	done := make(chan error, 1)
+	go func() {
+		lists, err := b.Fetch(context.Background(), []NodeID{2})
+		if err == nil && !slices.Equal(lists[0], inner.neighbors(2)) {
+			err = fmt.Errorf("wrong answer %v", lists[0])
+		}
+		done <- err
+	}()
+	// Only the MaxWait timer can put the second batch on the wire while the
+	// first still holds the gate; wait for that, then release both.
+	deadline = time.Now().Add(5 * time.Second)
+	for inner.callCount() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("timer never flushed the second demand")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	inner.gate <- struct{}{}
+	inner.gate <- struct{}{}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second demand never flushed while first was in flight")
+	}
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	if st := batchStats(t, b); st.FlushTimer == 0 {
+		t.Fatalf("stats = %+v, want a timer flush", st)
+	}
+}
+
+// TestBatchingDrainFlushesOnCompletion: demand accumulated behind a full
+// MaxInflight pipeline is dispatched the moment a slot frees, without
+// waiting out MaxWait.
+func TestBatchingDrainFlushesOnCompletion(t *testing.T) {
+	inner := &ringBackend{n: 64, gate: make(chan struct{})}
+	// MaxWait far beyond the test timeout: only the completion drain can
+	// flush the queued demand.
+	b := WithBatching(inner, BatchingOptions{MaxBatch: 16, MaxWait: time.Hour, MaxInflight: 1})
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := b.Fetch(context.Background(), []NodeID{1})
+		first <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for inner.callCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first dispatch never reached the backend")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	second := make(chan error, 1)
+	go func() {
+		_, err := b.Fetch(context.Background(), []NodeID{2, 3})
+		second <- err
+	}()
+	// Give the second demand a moment to enqueue, then complete the first
+	// fetch; the drain must dispatch the queued window.
+	time.Sleep(2 * time.Millisecond)
+	inner.gate <- struct{}{}
+	inner.gate <- struct{}{}
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-second:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued demand never drained after completion")
+	}
+	if st := batchStats(t, b); st.FlushDrain == 0 {
+		t.Fatalf("stats = %+v, want a drain flush", st)
+	}
+}
+
+// TestBatchingWithdrawCancelsAbandonedBatch: when every waiter of an
+// in-flight batch cancels, the wire request itself is cancelled; the waiters
+// get their context error.
+func TestBatchingWithdrawCancelsAbandonedBatch(t *testing.T) {
+	inner := &ringBackend{n: 64, gate: make(chan struct{})}
+	b := WithBatching(inner, BatchingOptions{MaxWait: time.Millisecond})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	res := make(chan error, 1)
+	go func() {
+		_, err := b.Fetch(ctx, []NodeID{5})
+		res <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for inner.callCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dispatch never reached the backend")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-res; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fetch err = %v, want context.Canceled", err)
+	}
+	// The backend's blocked call must observe the batch context dying — the
+	// gate is never released, so only cancellation can unblock it.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		inner.mu.Lock()
+		infl := inner.inflight
+		inner.mu.Unlock()
+		if infl == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned batch was never cancelled on the wire")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if st := batchStats(t, b); st.Withdrawn != 1 {
+		t.Fatalf("stats = %+v, want Withdrawn = 1", st)
+	}
+}
+
+// TestBatchingWithdrawLeavesWindow: cancelling a demand still in the window
+// removes it — the next flush must not carry the withdrawn id.
+func TestBatchingWithdrawLeavesWindow(t *testing.T) {
+	inner := &ringBackend{n: 64, gate: make(chan struct{})}
+	b := WithBatching(inner, BatchingOptions{MaxBatch: 16, MaxWait: time.Hour, MaxInflight: 1})
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := b.Fetch(context.Background(), []NodeID{1})
+		first <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for inner.callCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first dispatch never reached the backend")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Queue a demand behind the busy pipeline, then cancel it while it still
+	// sits in the window.
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() {
+		_, err := b.Fetch(ctx, []NodeID{9})
+		queued <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued Fetch err = %v, want context.Canceled", err)
+	}
+	inner.gate <- struct{}{}
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	// Nothing remains to dispatch: the withdrawn id must never hit the wire.
+	time.Sleep(5 * time.Millisecond)
+	inner.mu.Lock()
+	calls := slices.Clone(inner.calls)
+	inner.mu.Unlock()
+	for _, call := range calls {
+		if slices.Contains(call, 9) {
+			t.Fatalf("withdrawn id 9 reached the backend: %v", calls)
+		}
+	}
+}
+
+// TestBatchingFallbackIsolatesUnknownID: the inner backend has no
+// PartialFetcher and fails whole batches with ErrNoSuchUser; a stranger
+// coalesced with the bad id must still get its answer, and the demander of
+// the bad id exactly its error.
+func TestBatchingFallbackIsolatesUnknownID(t *testing.T) {
+	inner := &ringBackend{n: 64, gate: make(chan struct{})}
+	b := WithBatching(inner, BatchingOptions{MaxBatch: 16, MaxWait: time.Hour, MaxInflight: 1})
+
+	// Occupy the single dispatch slot so the next two demands coalesce.
+	first := make(chan error, 1)
+	go func() {
+		_, err := b.Fetch(context.Background(), []NodeID{1})
+		first <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for inner.callCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first dispatch never reached the backend")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	good := make(chan error, 1)
+	bad := make(chan error, 1)
+	go func() {
+		lists, err := b.Fetch(context.Background(), []NodeID{3})
+		if err == nil && !slices.Equal(lists[0], inner.neighbors(3)) {
+			err = fmt.Errorf("wrong answer %v", lists[0])
+		}
+		good <- err
+	}()
+	go func() {
+		_, err := b.Fetch(context.Background(), []NodeID{999})
+		bad <- err
+	}()
+	// Wait for both to coalesce into the window, then release the pipeline.
+	waitPending(t, b, 2)
+	close(inner.gate) // every later fetch passes straight through
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-good; err != nil {
+		t.Fatalf("stranger coalesced with a bad id got %v, want its answer", err)
+	}
+	if err := <-bad; !errors.Is(err, ErrNoSuchUser) {
+		t.Fatalf("bad id err = %v, want ErrNoSuchUser", err)
+	}
+}
+
+// waitPending spins until the dispatcher's window holds n ids.
+func waitPending(t *testing.T, b Backend, n int) {
+	t.Helper()
+	c, ok := b.(*batchingBackend)
+	if !ok {
+		t.Fatal("not a batching backend")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		pending := len(c.pending)
+		c.mu.Unlock()
+		if pending >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("window never reached %d pending ids", n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// partialRing implements PartialFetcher natively; used counts proves the
+// dispatcher prefers the capability over the strict fallback.
+type partialRing struct {
+	ringBackend
+	used atomic.Int64
+}
+
+func (p *partialRing) FetchPartial(ctx context.Context, ids []NodeID) ([][]NodeID, []error, error) {
+	p.used.Add(1)
+	lists := make([][]NodeID, len(ids))
+	var errs []error
+	for i, v := range ids {
+		if v < 0 || int(v) >= p.n {
+			if errs == nil {
+				errs = make([]error, len(ids))
+			}
+			errs[i] = fmt.Errorf("%w: id %d", ErrNoSuchUser, v)
+			continue
+		}
+		lists[i] = p.neighbors(v)
+	}
+	return lists, errs, nil
+}
+
+// TestBatchingUsesPartialFetcher: a backend advertising FetchPartial gets
+// per-id dispatch — mixed good/bad batches resolve in one round-trip.
+func TestBatchingUsesPartialFetcher(t *testing.T) {
+	inner := &partialRing{ringBackend: ringBackend{n: 64}}
+	b := WithBatching(inner, BatchingOptions{})
+	if _, err := b.Fetch(context.Background(), []NodeID{2, 999}); !errors.Is(err, ErrNoSuchUser) {
+		t.Fatalf("err = %v, want ErrNoSuchUser", err)
+	}
+	lists, err := b.Fetch(context.Background(), []NodeID{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(lists[1], inner.neighbors(3)) {
+		t.Fatalf("lists[1] = %v, want %v", lists[1], inner.neighbors(3))
+	}
+	if inner.used.Load() == 0 {
+		t.Fatal("native FetchPartial was never used")
+	}
+	if got := inner.callCount(); got != 0 {
+		t.Fatalf("strict Fetch was called %d times despite the PartialFetcher capability", got)
+	}
+}
+
+// TestBatchingRaceHammer drives the full client stack — demand queries,
+// cancellation, tenant billing, and the speculative prefetch pool — through
+// one coalescing window under -race, then checks the ledger invariants the
+// paper's cost model depends on: every cached response is billed exactly
+// once or parked speculative, and per-tenant bills sum to the total.
+func TestBatchingRaceHammer(t *testing.T) {
+	const (
+		nodes   = 128
+		workers = 8
+		queries = 120
+	)
+	inner := &ringBackend{n: nodes, delay: 200 * time.Microsecond}
+	bb := WithBatching(inner, BatchingOptions{MaxBatch: 8, MaxWait: 500 * time.Microsecond, MaxInflight: 4})
+	client := osn.NewPrefetchingClient(newOSNBackend(bb), osn.PrefetchConfig{Workers: 4, Depth: 1})
+	defer client.StopPrefetch()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 99))
+			ctx := osn.WithTenant(context.Background(), fmt.Sprintf("tenant-%d", w%3))
+			for q := range queries {
+				id := NodeID(rng.IntN(nodes))
+				switch q % 4 {
+				case 0:
+					// Demand with a racing cancellation: sometimes the answer
+					// lands first, sometimes the withdrawal does.
+					cctx, cancel := context.WithTimeout(ctx, time.Duration(rng.IntN(300))*time.Microsecond)
+					_, err := client.QueryContext(cctx, id)
+					cancel()
+					if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+						errc <- fmt.Errorf("worker %d: cancelled query: %v", w, err)
+						return
+					}
+				case 1:
+					// Speculative prefetch racing the demand path (upgrade).
+					client.Prefetch(id, NodeID(rng.IntN(nodes)))
+					fallthrough
+				default:
+					// Coalesced waiters share the driving fetch's fate, errors
+					// included (singleflight semantics): a context error not
+					// our own means the first demander bailed — retry.
+					var resp osn.Response
+					var err error
+					for range 50 {
+						resp, err = client.QueryContext(ctx, id)
+						if err == nil || (!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled)) {
+							break
+						}
+					}
+					if err != nil {
+						errc <- fmt.Errorf("worker %d: query %d: %v", w, id, err)
+						return
+					}
+					want := inner.neighbors(id)
+					if !slices.Equal(resp.Neighbors, want) {
+						errc <- fmt.Errorf("worker %d: id %d got %v want %v", w, id, resp.Neighbors, want)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	client.StopPrefetch()
+
+	unique, spec, cached := client.UniqueQueries(), client.SpeculativeCount(), int64(client.CacheSize())
+	if unique+spec != cached {
+		t.Fatalf("billing drift: unique %d + speculative %d != cached %d", unique, spec, cached)
+	}
+	var tenantSum int64
+	for name, bill := range client.TenantBills() {
+		if bill.Unique < 0 || bill.Reserved != 0 {
+			t.Fatalf("tenant %s: bill %+v after quiescence", name, bill)
+		}
+		tenantSum += bill.Unique
+	}
+	if tenantSum != unique {
+		t.Fatalf("tenant bills sum to %d, client-wide unique is %d", tenantSum, unique)
+	}
+	st := batchStats(t, bb)
+	if st.Batches == 0 || st.IDs < st.Batches {
+		t.Fatalf("implausible dispatch stats %+v", st)
+	}
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,7 +30,7 @@ type prefetchFlags struct {
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: table1|running|fig7|fig8|fig9|fig10|fig11|theorem6|fleet|prefetch|contention|all, or bench/memsmoke/snapcold/warmstart (standalone CI workloads, not part of all)")
+		which    = flag.String("exp", "all", "experiment: table1|running|fig7|fig8|fig9|fig10|fig11|theorem6|fleet|prefetch|contention|batching|all, or bench/memsmoke/snapcold/warmstart (standalone CI workloads, not part of all)")
 		full     = flag.Bool("full", false, "run at full paper scale (slower)")
 		seed     = flag.Uint64("seed", 1, "master random seed")
 		dataset  = flag.String("dataset", "", "restrict fig7 to one dataset (default: all three)")
@@ -215,6 +216,26 @@ func run(which string, full bool, seed uint64, dataset, jsonOut string, pf prefe
 		}
 		exp.ContentionScaling(target, cfg, seed).Render(out)
 	}
+	if all || which == "batching" {
+		section("Batching — demand-coalescing dispatch over a serialized HTTP provider")
+		cfg := exp.QuickBatchingConfig()
+		if full {
+			cfg = exp.DefaultBatchingConfig()
+		}
+		target := exp.Datasets(full)[0]
+		if dataset != "" {
+			d := exp.DatasetByName(dataset, full)
+			if d == nil {
+				return fmt.Errorf("unknown dataset %q", dataset)
+			}
+			target = *d
+		}
+		res, err := exp.BatchingScaling(context.Background(), target, cfg, seed)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	}
 	if which == "memsmoke" {
 		// Standalone like bench: a CI guard, not a paper artifact. Run it
 		// under a fixed GOMEMLIMIT to turn a storage-layer memory regression
@@ -256,7 +277,7 @@ func run(which string, full bool, seed uint64, dataset, jsonOut string, pf prefe
 	}
 	if which == "bench" {
 		section("Bench suite — deterministic CI gate workloads")
-		suite, err := exp.BenchSuite(seed)
+		suite, err := exp.BenchSuite(context.Background(), seed)
 		if err != nil {
 			return err
 		}
@@ -270,7 +291,7 @@ func run(which string, full bool, seed uint64, dataset, jsonOut string, pf prefe
 	}
 	if !all {
 		switch which {
-		case "table1", "running", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem6", "fleet", "prefetch", "contention", "bench", "memsmoke", "snapcold", "warmstart":
+		case "table1", "running", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem6", "fleet", "prefetch", "contention", "batching", "bench", "memsmoke", "snapcold", "warmstart":
 		default:
 			return fmt.Errorf("unknown experiment %q", which)
 		}

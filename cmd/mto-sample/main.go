@@ -11,6 +11,7 @@
 //	mto-sample -source snapshot:crawl.csr -alg MTO
 //	mto-sample -source http://host/graph -alg SRW -fleet 8
 //	mto-sample -source http://host/graph -cache ./crawlcache  # persist + warm-start
+//	mto-sample -source http://host/graph -fleet 8 -batch 64 -batchwait 2ms  # coalesce fleet demand
 //
 // A -timeout deadline or a -budget cap ends the run early with whatever has
 // been sampled: the session is the paper's protocol made interruptible.
@@ -32,22 +33,24 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "Epinions", "preset dataset: Epinions | 'Slashdot A' | 'Slashdot B' | 'Google Plus'")
-		full    = flag.Bool("full", false, "use the full-scale preset")
-		file    = flag.String("graph", "", "edge-list file (overrides -dataset)")
-		source  = flag.String("source", "", "backend URL (mem:, sim:, http://, snapshot:) — overrides -dataset/-graph/-facebook-limits")
-		alg     = flag.String("alg", "MTO", "sampler: SRW|MTO|MTO_RM|MTO_RP|MHRW|RJ")
-		fleetK  = flag.Int("fleet", 1, "concurrent walkers sharing the budget and overlay")
-		samples = flag.Int("samples", 4000, "samples after burn-in")
-		geweke  = flag.Float64("geweke", 0.1, "Geweke convergence threshold")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		limitFB = flag.Bool("facebook-limits", false, "apply the paper's 600/600s quota to the interface")
-		timeout = flag.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none)")
-		budget  = flag.Int64("budget", 0, "unique-query budget (0 = unlimited)")
-		cache   = flag.String("cache", "", "durable cache directory: persist every billed fetch and warm-start the next run from it (empty = in-memory only)")
+		dataset   = flag.String("dataset", "Epinions", "preset dataset: Epinions | 'Slashdot A' | 'Slashdot B' | 'Google Plus'")
+		full      = flag.Bool("full", false, "use the full-scale preset")
+		file      = flag.String("graph", "", "edge-list file (overrides -dataset)")
+		source    = flag.String("source", "", "backend URL (mem:, sim:, http://, snapshot:) — overrides -dataset/-graph/-facebook-limits")
+		alg       = flag.String("alg", "MTO", "sampler: SRW|MTO|MTO_RM|MTO_RP|MHRW|RJ")
+		fleetK    = flag.Int("fleet", 1, "concurrent walkers sharing the budget and overlay")
+		samples   = flag.Int("samples", 4000, "samples after burn-in")
+		geweke    = flag.Float64("geweke", 0.1, "Geweke convergence threshold")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		limitFB   = flag.Bool("facebook-limits", false, "apply the paper's 600/600s quota to the interface")
+		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none)")
+		budget    = flag.Int64("budget", 0, "unique-query budget (0 = unlimited)")
+		cache     = flag.String("cache", "", "durable cache directory: persist every billed fetch and warm-start the next run from it (empty = in-memory only)")
+		batchWait = flag.Duration("batchwait", 0, "demand-coalescing window for -source backends: misses arriving within it share one round-trip (0 = off unless -batch is set)")
+		batchMax  = flag.Int("batch", 0, "max ids per coalesced round-trip (0 = SDK default; enables coalescing when set)")
 	)
 	flag.Parse()
-	if err := run(*dataset, *full, *file, *source, *alg, *fleetK, *samples, *geweke, *seed, *limitFB, *timeout, *budget, *cache); err != nil {
+	if err := run(*dataset, *full, *file, *source, *alg, *fleetK, *samples, *geweke, *seed, *limitFB, *timeout, *budget, *cache, *batchWait, *batchMax); err != nil {
 		fmt.Fprintln(os.Stderr, "mto-sample:", err)
 		os.Exit(1)
 	}
@@ -74,18 +77,26 @@ func options(alg string) ([]rewire.Option, error) {
 	}
 }
 
-func run(dataset string, full bool, file, source, alg string, fleetK, samples int, geweke float64, seed uint64, limitFB bool, timeout time.Duration, budget int64, cache string) error {
+func run(dataset string, full bool, file, source, alg string, fleetK, samples int, geweke float64, seed uint64, limitFB bool, timeout time.Duration, budget int64, cache string, batchWait time.Duration, batchMax int) error {
+	coalesce := batchWait > 0 || batchMax > 0
+	if coalesce && source == "" {
+		return errors.New("-batch/-batchwait coalesce round-trips to a remote backend: they require -source")
+	}
 	var g *rewire.Graph // nil when -source names an external backend
 	var provider *rewire.Provider
 	var err error
 	switch {
 	case source != "":
 		openCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		provider, err = rewire.Open(openCtx, source)
+		be, oerr := rewire.OpenBackend(openCtx, source)
 		cancel()
-		if err != nil {
-			return err
+		if oerr != nil {
+			return oerr
 		}
+		if coalesce {
+			be = rewire.WithBatching(be, rewire.BatchingOptions{MaxBatch: batchMax, MaxWait: batchWait})
+		}
+		provider = rewire.BackendSource(be)
 		defer provider.Close()
 		dataset = source
 	case file != "":

@@ -41,6 +41,8 @@ func main() {
 	maxJobs := flag.Int("max-jobs-per-tenant", 0, "max live jobs per tenant (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for jobs to checkpoint")
 	cacheDir := flag.String("cache", "", "durable cache directory: per-backend write-ahead-logged caches that survive crashes and warm-start restarts (empty = in-memory only)")
+	batchWait := flag.Duration("batchwait", 0, "demand-coalescing window: cache misses from all tenants arriving within it share one provider round-trip (0 = no coalescing)")
+	batchMax := flag.Int("batch", 0, "max ids per coalesced round-trip (0 = SDK default; meaningful only with -batchwait)")
 	flag.Parse()
 
 	// The server gets its own root context, NOT the signal context: on
@@ -51,6 +53,8 @@ func main() {
 		RateLimitBurst:   *burst,
 		MaxJobsPerTenant: *maxJobs,
 		CacheDir:         *cacheDir,
+		BatchWait:        *batchWait,
+		BatchMax:         *batchMax,
 	})
 	if *stateDir != "" {
 		if err := srv.LoadState(*stateDir); err != nil {

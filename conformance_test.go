@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"slices"
 	"testing"
+	"time"
 
 	"rewire"
 	"rewire/internal/graph"
@@ -193,5 +194,83 @@ func TestConformanceTrajectoriesAgree(t *testing.T) {
 		if bill != wantBill {
 			t.Fatalf("%s: unique-query bill %d, want %d", name, bill, wantBill)
 		}
+	}
+}
+
+// TestConformanceBatchingInvariance pins the coalescing middleware's core
+// contract: for a fixed-seed partitioned fleet, wrapping any backend in
+// WithBatching changes how many wires the demand rides — never the
+// trajectory, the global bill, or any tenant's bill. Batched and unbatched
+// runs over the same scheme must agree byte for byte.
+func TestConformanceBatchingInvariance(t *testing.T) {
+	ctx := context.Background()
+	g := conformanceGraph(t)
+	for name, target := range conformanceTargets(t, g) {
+		t.Run(name, func(t *testing.T) {
+			type outcome struct {
+				samples []rewire.Sample
+				bill    int64
+				tenants map[string]rewire.TenantBill
+			}
+			run := func(batched bool) outcome {
+				be, err := rewire.OpenBackend(ctx, target)
+				if err != nil {
+					t.Fatalf("OpenBackend(%q): %v", target, err)
+				}
+				if batched {
+					be = rewire.WithBatching(be, rewire.BatchingOptions{
+						MaxBatch: 8,
+						MaxWait:  time.Millisecond,
+					})
+				}
+				p := rewire.BackendSource(be)
+				defer p.Close()
+				s, err := rewire.NewSession(p,
+					rewire.WithAlgorithm(rewire.AlgSRW),
+					rewire.WithFleet(4),
+					rewire.WithSeed(11),
+					rewire.WithPartitionedBudget(true),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				samples, err := s.Samples(rewire.WithTenant(ctx, "conformance"), 160)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return outcome{samples: samples, bill: p.UniqueQueries(), tenants: p.TenantBills()}
+			}
+			plain := run(false)
+			batched := run(true)
+			// The fleet merge order is documented nondeterministic; each
+			// member's own subsequence is the trajectory that must not move.
+			perWalker := func(samples []rewire.Sample) map[int][]rewire.Sample {
+				m := make(map[int][]rewire.Sample)
+				for _, smp := range samples {
+					m[smp.Walker] = append(m[smp.Walker], smp)
+				}
+				return m
+			}
+			got, want := perWalker(batched.samples), perWalker(plain.samples)
+			if len(got) != len(want) {
+				t.Fatalf("coalescing changed the walker set: %d vs %d", len(got), len(want))
+			}
+			for w, traj := range want {
+				if !slices.Equal(got[w], traj) {
+					t.Fatalf("coalescing changed walker %d's trajectory", w)
+				}
+			}
+			if batched.bill != plain.bill {
+				t.Fatalf("coalescing changed the bill: %d batched vs %d unbatched", batched.bill, plain.bill)
+			}
+			if len(batched.tenants) != len(plain.tenants) {
+				t.Fatalf("tenant sets diverged: %v vs %v", batched.tenants, plain.tenants)
+			}
+			for tenant, want := range plain.tenants {
+				if got := batched.tenants[tenant]; got != want {
+					t.Fatalf("tenant %q billed %+v batched, %+v unbatched", tenant, got, want)
+				}
+			}
+		})
 	}
 }

@@ -30,8 +30,11 @@ import (
 //	                                   quota fields)
 //	http://host/path?timeout=5s   live JSON neighbor-list provider
 //	                              (driver params: timeout, retries, backoff,
-//	                              max_backoff, batch — anything else is
-//	                              forwarded to the provider)
+//	                              max_backoff, batch, batchwait — anything
+//	                              else is forwarded to the provider; batchwait
+//	                              > 0 wraps the backend in a WithBatching
+//	                              coalescing window of batch ids flushed
+//	                              after at most that wait)
 //	snapshot:crawl.csr            read-only binary CSR snapshot, mmap'd on
 //	                              linux (?mode=readerat forces the portable
 //	                              io.ReaderAt path)
@@ -307,7 +310,7 @@ func openSim(ctx context.Context, u *url.URL) (Backend, error) {
 
 // httpDriverParams are the query keys the http driver consumes; everything
 // else stays on the base URL and reaches the provider.
-var httpDriverParams = []string{"timeout", "retries", "backoff", "max_backoff", "batch"}
+var httpDriverParams = []string{"timeout", "retries", "backoff", "max_backoff", "batch", "batchwait"}
 
 // httpBackend adds the public RateLimited capability over the HTTP driver's
 // own feedback type.
@@ -347,6 +350,12 @@ func openHTTP(ctx context.Context, u *url.URL) (Backend, error) {
 			return nil, fmt.Errorf("rewire: http: bad batch=%q", s)
 		}
 	}
+	var batchWait time.Duration
+	if s := q.Get("batchwait"); s != "" {
+		if batchWait, err = time.ParseDuration(s); err != nil || batchWait < 0 {
+			return nil, fmt.Errorf("rewire: http: bad batchwait=%q", s)
+		}
+	}
 	base := *u
 	for _, k := range httpDriverParams {
 		q.Del(k)
@@ -363,7 +372,13 @@ func openHTTP(ctx context.Context, u *url.URL) (Backend, error) {
 	if _, err := hb.Meta(ctx); err != nil {
 		return nil, fmt.Errorf("rewire: http: probing %s: %w", opt.BaseURL, err)
 	}
-	return httpBackend{hb}, nil
+	var be Backend = httpBackend{hb}
+	if batchWait > 0 {
+		// batchwait opts into demand coalescing at the driver level: distinct
+		// walkers' misses share POST round-trips without any SDK-side wiring.
+		be = WithBatching(be, BatchingOptions{MaxBatch: opt.BatchSize, MaxWait: batchWait})
+	}
+	return be, nil
 }
 
 // snapshotBackend serves a read-only CSR snapshot through the driver

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http/httptest"
 	"net/url"
 	"slices"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"rewire"
+	"rewire/internal/httpsrc"
 )
 
 // fakeBackend is a scriptable Backend for middleware tests.
@@ -308,5 +310,54 @@ func TestOpenSimMatchesSimulate(t *testing.T) {
 	}
 	if opened.SimulatedElapsed() <= 0 {
 		t.Fatal("sim: driver lost the simulated clock")
+	}
+}
+
+// TestOpenHTTPBatchwaitParam pins the driver-level coalescing opt-in: a
+// batchwait URL parameter wraps the HTTP backend in WithBatching (probeable
+// as BatchStatser through the capability chain) and a malformed or negative
+// value fails Open.
+func TestOpenHTTPBatchwaitParam(t *testing.T) {
+	ctx := context.Background()
+	g, err := rewire.SocialGraph(60, 240, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(httpsrc.Handler(g, httpsrc.ServerOptions{}))
+	defer srv.Close()
+
+	be, err := rewire.OpenBackend(ctx, srv.URL+"?timeout=5s&batch=8&batchwait=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if c, ok := rewire.BackendAs[interface{ Close() error }](be); ok {
+			c.Close()
+		}
+	}()
+	bs, ok := rewire.BackendAs[rewire.BatchStatser](be)
+	if !ok {
+		t.Fatal("batchwait URL param did not attach the coalescing middleware")
+	}
+	if _, err := be.Fetch(ctx, []rewire.NodeID{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if st := bs.BatchStats(); st.Batches == 0 || st.IDs < 3 {
+		t.Fatalf("stats = %+v after a fetch through the coalescer", st)
+	}
+
+	// Without the parameter the backend stays bare.
+	plain, err := rewire.OpenBackend(ctx, srv.URL+"?timeout=5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rewire.BackendAs[rewire.BatchStatser](plain); ok {
+		t.Fatal("coalescing middleware attached without batchwait")
+	}
+
+	for _, bad := range []string{"?batchwait=nope", "?batchwait=-2ms"} {
+		if _, err := rewire.OpenBackend(ctx, srv.URL+bad); err == nil {
+			t.Errorf("OpenBackend(%q) succeeded, want error", bad)
+		}
 	}
 }

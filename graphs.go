@@ -5,7 +5,7 @@ import (
 	"io"
 	"os"
 
-	"rewire/internal/exp"
+	"rewire/internal/dataset"
 	"rewire/internal/gen"
 	"rewire/internal/graph"
 	"rewire/internal/rng"
@@ -70,9 +70,9 @@ func SocialGraph(nodes, edges int, seed uint64) (*Graph, error) {
 // Generation is deterministic and cached process-wide.
 func PresetGraph(name string, full bool) (*Graph, error) {
 	if name == "Google Plus" {
-		return exp.GooglePlusGraph(full), nil
+		return dataset.GooglePlus(full), nil
 	}
-	ds := exp.DatasetByName(name, full)
+	ds := dataset.ByName(name, full)
 	if ds == nil {
 		return nil, fmt.Errorf("rewire: unknown preset dataset %q", name)
 	}

@@ -1,0 +1,99 @@
+// Package dataset generates the paper's Table I stand-in datasets. It sits
+// below both the public SDK (rewire.PresetGraph) and the experiment drivers
+// (internal/exp), so either side can request the exact same topologies
+// without depending on the other.
+package dataset
+
+import (
+	"sync"
+
+	"rewire/internal/gen"
+	"rewire/internal/graph"
+)
+
+// Dataset pairs a named graph with its generator so drivers can request the
+// paper's datasets by name at either scale.
+type Dataset struct {
+	Name  string
+	Graph *graph.Graph
+}
+
+// Seed fixes the generator seed for every preset dataset, so all drivers and
+// benches agree on the exact topologies.
+const Seed = 20130408 // ICDE 2013 conference date
+
+var (
+	localOnce  sync.Once
+	localCache map[string]*graph.Graph
+	smallOnce  sync.Once
+	smallCache map[string]*graph.Graph
+)
+
+// Local returns the paper's Table I datasets (full scale: Epinions,
+// Slashdot A, Slashdot B). Generation happens once per process and is then
+// shared — the graphs are immutable.
+func Local() []Dataset {
+	localOnce.Do(func() {
+		localCache = map[string]*graph.Graph{
+			"Epinions":   gen.EpinionsLike(Seed),
+			"Slashdot A": gen.SlashdotALike(Seed),
+			"Slashdot B": gen.SlashdotBLike(Seed),
+		}
+	})
+	return []Dataset{
+		{"Epinions", localCache["Epinions"]},
+		{"Slashdot A", localCache["Slashdot A"]},
+		{"Slashdot B", localCache["Slashdot B"]},
+	}
+}
+
+// Small returns 1/10-scale counterparts for tests and quick benches.
+func Small() []Dataset {
+	smallOnce.Do(func() {
+		smallCache = map[string]*graph.Graph{
+			"Epinions":   gen.EpinionsLikeSmall(Seed),
+			"Slashdot A": gen.SlashdotLikeSmall(Seed),
+			"Slashdot B": gen.SlashdotLikeSmall(Seed + 1),
+		}
+	})
+	return []Dataset{
+		{"Epinions", smallCache["Epinions"]},
+		{"Slashdot A", smallCache["Slashdot A"]},
+		{"Slashdot B", smallCache["Slashdot B"]},
+	}
+}
+
+// All selects full or small scale.
+func All(full bool) []Dataset {
+	if full {
+		return Local()
+	}
+	return Small()
+}
+
+// ByName finds one dataset, nil when missing.
+func ByName(name string, full bool) *Dataset {
+	for _, d := range All(full) {
+		if d.Name == name {
+			return &d
+		}
+	}
+	return nil
+}
+
+var (
+	gplusOnce       sync.Once
+	gplusCache      *graph.Graph
+	gplusSmallOnce  sync.Once
+	gplusSmallCache *graph.Graph
+)
+
+// GooglePlus returns the Google Plus stand-in at the requested scale.
+func GooglePlus(full bool) *graph.Graph {
+	if full {
+		gplusOnce.Do(func() { gplusCache = gen.GooglePlusLike(Seed) })
+		return gplusCache
+	}
+	gplusSmallOnce.Do(func() { gplusSmallCache = gen.GooglePlusLikeSmall(Seed) })
+	return gplusSmallCache
+}

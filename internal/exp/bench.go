@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,7 +17,7 @@ import (
 // the runs are latency-dominated (see internal/benchcmp). A non-nil error
 // means a workload could not run at all (e.g. the snapshot round-trip
 // failed) — the partial suite is still returned for diagnosis.
-func BenchSuite(seed uint64) (benchcmp.Suite, error) {
+func BenchSuite(ctx context.Context, seed uint64) (benchcmp.Suite, error) {
 	ds := SmallDatasets()[0]
 	cfg := QuickPrefetchExpConfig()
 	suite := benchcmp.Suite{Schema: benchcmp.Schema, Seed: seed}
@@ -129,6 +130,54 @@ func BenchSuite(seed uint64) (benchcmp.Suite, error) {
 			Samples: warmSamples,
 			Queries: warm.WarmNew,
 		},
+	)
+
+	// HTTP fleet batching: the same fixed-seed fleet demand over a serialized
+	// HTTP provider (one request at a time, fixed service latency), with and
+	// without the demand-coalescing middleware. Queries are deterministic and
+	// identical across the two rows — coalescing repacks demand, never changes
+	// it — and the speedup is the round-trip-count ratio in disguise, so the
+	// baseline can put a hard floor under it on any machine.
+	bcfg := QuickBatchingConfig()
+	httpBest := func(wait time.Duration) (BatchingRow, error) {
+		best, err := RunHTTPFleet(ctx, ds, bcfg, wait, seed)
+		if err != nil {
+			return best, err
+		}
+		row, err := RunHTTPFleet(ctx, ds, bcfg, wait, seed)
+		if err != nil {
+			return best, err
+		}
+		if row.Wall < best.Wall {
+			best = row
+		}
+		return best, nil
+	}
+	unbatched, err := httpBest(0)
+	if err != nil {
+		return suite, fmt.Errorf("exp: HTTPFleetUnbatched workload failed: %w", err)
+	}
+	batched, err := httpBest(bcfg.Waits[len(bcfg.Waits)-1])
+	if err != nil {
+		return suite, fmt.Errorf("exp: HTTPFleetBatched workload failed: %w", err)
+	}
+	batchedRes := benchcmp.Result{
+		Name:    "HTTPFleetBatchedK16",
+		WallNS:  batched.Wall.Nanoseconds(),
+		Samples: bcfg.Samples,
+		Queries: batched.Unique,
+	}
+	if unbatched.Wall > 0 && batched.Wall > 0 {
+		batchedRes.Speedup = float64(unbatched.Wall) / float64(batched.Wall)
+	}
+	suite.Results = append(suite.Results,
+		benchcmp.Result{
+			Name:    "HTTPFleetUnbatchedK16",
+			WallNS:  unbatched.Wall.Nanoseconds(),
+			Samples: bcfg.Samples,
+			Queries: unbatched.Unique,
+		},
+		batchedRes,
 	)
 	return suite, nil
 }

@@ -1,95 +1,30 @@
 package exp
 
 import (
-	"sync"
-
-	"rewire/internal/gen"
+	"rewire/internal/dataset"
 	"rewire/internal/graph"
 )
 
-// Dataset pairs a named graph with its generator so drivers can request the
-// paper's datasets by name at either scale.
-type Dataset struct {
-	Name  string
-	Graph *graph.Graph
-}
+// Dataset pairs a named graph with its generator; the presets themselves
+// live in internal/dataset so the public SDK can share them without
+// importing the experiment drivers.
+type Dataset = dataset.Dataset
 
 // DatasetSeed fixes the generator seed for every preset dataset, so all
 // drivers and benches agree on the exact topologies.
-const DatasetSeed = 20130408 // ICDE 2013 conference date
+const DatasetSeed = dataset.Seed
 
-var (
-	datasetOnce  sync.Once
-	datasetCache map[string]*graph.Graph
-	smallOnce    sync.Once
-	smallCache   map[string]*graph.Graph
-)
-
-// LocalDatasets returns the paper's Table I datasets (full scale: Epinions,
-// Slashdot A, Slashdot B). Generation happens once per process and is then
-// shared — the graphs are immutable.
-func LocalDatasets() []Dataset {
-	datasetOnce.Do(func() {
-		datasetCache = map[string]*graph.Graph{
-			"Epinions":   gen.EpinionsLike(DatasetSeed),
-			"Slashdot A": gen.SlashdotALike(DatasetSeed),
-			"Slashdot B": gen.SlashdotBLike(DatasetSeed),
-		}
-	})
-	return []Dataset{
-		{"Epinions", datasetCache["Epinions"]},
-		{"Slashdot A", datasetCache["Slashdot A"]},
-		{"Slashdot B", datasetCache["Slashdot B"]},
-	}
-}
+// LocalDatasets returns the paper's Table I datasets at full scale.
+func LocalDatasets() []Dataset { return dataset.Local() }
 
 // SmallDatasets returns 1/10-scale counterparts for tests and quick benches.
-func SmallDatasets() []Dataset {
-	smallOnce.Do(func() {
-		smallCache = map[string]*graph.Graph{
-			"Epinions":   gen.EpinionsLikeSmall(DatasetSeed),
-			"Slashdot A": gen.SlashdotLikeSmall(DatasetSeed),
-			"Slashdot B": gen.SlashdotLikeSmall(DatasetSeed + 1),
-		}
-	})
-	return []Dataset{
-		{"Epinions", smallCache["Epinions"]},
-		{"Slashdot A", smallCache["Slashdot A"]},
-		{"Slashdot B", smallCache["Slashdot B"]},
-	}
-}
+func SmallDatasets() []Dataset { return dataset.Small() }
 
 // Datasets selects full or small scale.
-func Datasets(full bool) []Dataset {
-	if full {
-		return LocalDatasets()
-	}
-	return SmallDatasets()
-}
+func Datasets(full bool) []Dataset { return dataset.All(full) }
 
 // DatasetByName finds one dataset, nil when missing.
-func DatasetByName(name string, full bool) *Dataset {
-	for _, d := range Datasets(full) {
-		if d.Name == name {
-			return &d
-		}
-	}
-	return nil
-}
-
-var (
-	gplusOnce       sync.Once
-	gplusCache      *graph.Graph
-	gplusSmallOnce  sync.Once
-	gplusSmallCache *graph.Graph
-)
+func DatasetByName(name string, full bool) *Dataset { return dataset.ByName(name, full) }
 
 // GooglePlusGraph returns the Google Plus stand-in at the requested scale.
-func GooglePlusGraph(full bool) *graph.Graph {
-	if full {
-		gplusOnce.Do(func() { gplusCache = gen.GooglePlusLike(DatasetSeed) })
-		return gplusCache
-	}
-	gplusSmallOnce.Do(func() { gplusSmallCache = gen.GooglePlusLikeSmall(DatasetSeed) })
-	return gplusSmallCache
-}
+func GooglePlusGraph(full bool) *graph.Graph { return dataset.GooglePlus(full) }

@@ -12,8 +12,26 @@
 //	  200 {"results":[{"id":1,"neighbors":[2,3]}, ...]}   (request order)
 //	  404 {"error":"no such user","id":9}                 (whole batch fails)
 //	  429 + Retry-After: <seconds>                        (quota exhausted)
+//	POST {base}/neighbors/batch   body {"ids":[1,2,9]}
+//	  200 {"results":[{"id":1,"neighbors":[2,3]},
+//	                  {"id":2,"neighbors":[1]},
+//	                  {"id":9,"neighbors":[],"error":"no such user"}]}
+//	  404/405                                             (route unsupported)
 //	GET {base}/meta
 //	  200 {"num_users":12345}
+//
+// The batch POST is the coalescing-friendly form: results are per-id partial
+// — an unknown id is an error ENTRY in a 200 response, never a whole-batch
+// failure — so one walker's bad id cannot poison the strangers batched with
+// it. A backend probes the route once and falls back to GETs forever after a
+// 404/405, so it interoperates with providers that only speak the GET form;
+// on that path a 404 names the guilty id and the client re-requests the rest.
+//
+// Both /neighbors and /neighbors/batch 200 responses carry a strong ETag;
+// the backend remembers recent (ids → ETag, lists) pairs and revalidates
+// with If-None-Match, so a provider answering 304 Not Modified spends
+// bandwidth — and, for providers that meter bytes or work, cost — only when
+// the answer actually changed.
 //
 // Every response may carry X-RateLimit-Limit / X-RateLimit-Remaining /
 // X-RateLimit-Reset (unix seconds); the backend records the latest values
@@ -21,6 +39,7 @@
 package httpsrc
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -29,9 +48,11 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rewire/internal/graph"
@@ -40,11 +61,13 @@ import (
 
 // Defaults for Options zero values.
 const (
-	DefaultMaxAttempts    = 4
-	DefaultBaseBackoff    = 100 * time.Millisecond
-	DefaultMaxBackoff     = 5 * time.Second
-	DefaultRequestTimeout = 10 * time.Second
-	DefaultBatchSize      = 64
+	DefaultMaxAttempts     = 4
+	DefaultBaseBackoff     = 100 * time.Millisecond
+	DefaultMaxBackoff      = 5 * time.Second
+	DefaultRequestTimeout  = 10 * time.Second
+	DefaultBatchSize       = 64
+	DefaultChunkParallel   = 4
+	DefaultValidationCache = 256
 )
 
 // maxResponseBytes caps how much of a response body is read — a misbehaving
@@ -75,8 +98,19 @@ type Options struct {
 	// context: one slow attempt fails fast and retries instead of eating the
 	// whole walk deadline.
 	RequestTimeout time.Duration
-	// BatchSize caps ids per GET; larger Fetch batches are chunked.
+	// BatchSize caps ids per request; larger Fetch batches are chunked.
 	BatchSize int
+	// ChunkParallel caps how many chunks of one oversized Fetch are in
+	// flight concurrently (default 4; 1 restores strictly sequential
+	// chunking). Result order is preserved regardless.
+	ChunkParallel int
+	// ValidationCache bounds the ETag revalidation cache: how many recent
+	// (ids → ETag, lists) pairs are kept for If-None-Match conditional
+	// requests (default 256; negative disables revalidation).
+	ValidationCache int
+	// DisableBatchPost forces the legacy GET protocol even against providers
+	// that advertise POST /neighbors/batch.
+	DisableBatchPost bool
 }
 
 func (o *Options) withDefaults() {
@@ -97,6 +131,12 @@ func (o *Options) withDefaults() {
 	}
 	if o.BatchSize <= 0 {
 		o.BatchSize = DefaultBatchSize
+	}
+	if o.ChunkParallel <= 0 {
+		o.ChunkParallel = DefaultChunkParallel
+	}
+	if o.ValidationCache == 0 {
+		o.ValidationCache = DefaultValidationCache
 	}
 }
 
@@ -142,6 +182,50 @@ type Backend struct {
 	rl    RateLimitState
 	rlSet bool
 	users int // cached /meta answer; 0 = not yet known
+
+	// Wire-activity counters (Stats) and the batch-route probe result.
+	batchPosts       atomic.Int64
+	gets             atomic.Int64
+	revalidated      atomic.Int64
+	fallbacks        atomic.Int64
+	batchUnsupported atomic.Bool
+
+	// ETag revalidation cache: recent (request key → ETag, decoded lists),
+	// FIFO-bounded by Options.ValidationCache. Entries are immutable once
+	// stored; lists are deep-cloned both in and out, so cached slices never
+	// alias what callers own.
+	vmu    sync.Mutex
+	vcache map[string]*valEntry
+	vorder []string
+}
+
+// valEntry is one revalidation-cache slot.
+type valEntry struct {
+	etag  string
+	lists [][]graph.NodeID
+}
+
+// Stats counts a backend's wire activity since construction.
+type Stats struct {
+	// BatchPosts and Gets count POST /neighbors/batch and GET /neighbors
+	// attempts (retries included).
+	BatchPosts, Gets int64
+	// Revalidated counts answers served from the validation cache after a
+	// 304 Not Modified.
+	Revalidated int64
+	// BatchFallbacks counts batch-route probes that found no route (at most
+	// one: the result is remembered).
+	BatchFallbacks int64
+}
+
+// Stats returns the backend's wire-activity counters.
+func (b *Backend) Stats() Stats {
+	return Stats{
+		BatchPosts:     b.batchPosts.Load(),
+		Gets:           b.gets.Load(),
+		Revalidated:    b.revalidated.Load(),
+		BatchFallbacks: b.fallbacks.Load(),
+	}
 }
 
 // New builds a backend for the provider at o.BaseURL. No request is made —
@@ -176,42 +260,132 @@ func (b *Backend) endpoint(leaf string, extra url.Values) string {
 // Fetch resolves the ids' neighbor lists (one per id, input order), chunking
 // into BatchSize-id requests and retrying transient failures with
 // bounded-jitter exponential backoff. Any id outside the provider's user
-// space fails the batch with an error matching osn.ErrNoSuchUser.
+// space fails the batch with an error matching osn.ErrNoSuchUser — the
+// strict Backend contract. Callers that want one bad id isolated instead of
+// fatal use FetchPartial.
 func (b *Backend) Fetch(ctx context.Context, ids []graph.NodeID) ([][]graph.NodeID, error) {
-	out := make([][]graph.NodeID, 0, len(ids))
-	for len(ids) > 0 {
-		n := min(len(ids), b.opt.BatchSize)
-		lists, err := b.fetchChunk(ctx, ids[:n])
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, lists...)
-		ids = ids[n:]
+	lists, errs, err := b.FetchPartial(ctx, ids)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return lists, nil
 }
 
-// fetchChunk is one protocol request with the retry loop around it.
-func (b *Backend) fetchChunk(ctx context.Context, ids []graph.NodeID) ([][]graph.NodeID, error) {
+// FetchPartial resolves the ids with per-id granularity: lists[i] is valid
+// where errs[i] is nil, and an id outside the provider's user space yields
+// errs[i] matching osn.ErrNoSuchUser without disturbing the others. The
+// batch error is non-nil only when the round-trip as a whole failed (errs
+// may be nil when every id succeeded). Oversized batches are chunked into
+// BatchSize-id requests dispatched with at most ChunkParallel in flight;
+// result order is the input order.
+func (b *Backend) FetchPartial(ctx context.Context, ids []graph.NodeID) ([][]graph.NodeID, []error, error) {
+	lists := make([][]graph.NodeID, len(ids))
+	var errs []error
+	type chunk struct{ off, n int }
+	var chunks []chunk
+	for off := 0; off < len(ids); off += b.opt.BatchSize {
+		chunks = append(chunks, chunk{off, min(b.opt.BatchSize, len(ids)-off)})
+	}
+	merge := func(off int, ls [][]graph.NodeID, es []error) {
+		copy(lists[off:], ls)
+		for j, e := range es {
+			if e == nil {
+				continue
+			}
+			if errs == nil {
+				errs = make([]error, len(ids))
+			}
+			errs[off+j] = e
+		}
+	}
+	if len(chunks) <= 1 || b.opt.ChunkParallel == 1 {
+		for _, c := range chunks {
+			ls, es, err := b.fetchChunkPartial(ctx, ids[c.off:c.off+c.n])
+			if err != nil {
+				return nil, nil, err
+			}
+			merge(c.off, ls, es)
+		}
+		return lists, errs, nil
+	}
+	// Bounded-parallel chunk dispatch: a semaphore caps in-flight requests,
+	// each chunk writes into its own offset so order is preserved, and the
+	// first chunk-level failure cancels the rest.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, b.opt.ChunkParallel)
+	var wg sync.WaitGroup
+	var fmu sync.Mutex
+	var firstErr error
+	for _, c := range chunks {
+		fmu.Lock()
+		failed := firstErr != nil
+		fmu.Unlock()
+		if failed {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-cctx.Done():
+		}
+		if cctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(c chunk) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ls, es, err := b.fetchChunkPartial(cctx, ids[c.off:c.off+c.n])
+			fmu.Lock()
+			defer fmu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				return
+			}
+			merge(c.off, ls, es)
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return lists, errs, nil
+}
+
+// fetchChunkPartial is one chunk's resolution with the retry loop around it.
+// Per-id errors are final answers and never retried; only whole-chunk
+// transient failures re-attempt.
+func (b *Backend) fetchChunkPartial(ctx context.Context, ids []graph.NodeID) ([][]graph.NodeID, []error, error) {
 	var lastErr error
 	var retryAfter time.Duration
 	for attempt := 1; attempt <= b.opt.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			if err := b.sleepBackoff(ctx, attempt-1, retryAfter); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
-		lists, err := b.doNeighbors(ctx, ids)
+		lists, errs, err := b.attemptChunk(ctx, ids)
 		if err == nil {
-			return lists, nil
+			return lists, errs, nil
 		}
 		if ctx.Err() != nil {
 			// The caller's context ended (their cancellation or deadline, not
 			// the per-attempt timeout): report it, not the transport noise.
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
 		if !temporary(err) {
-			return nil, err
+			return nil, nil, err
 		}
 		lastErr = err
 		retryAfter = 0
@@ -224,11 +398,87 @@ func (b *Backend) fetchChunk(ctx context.Context, ids []graph.NodeID) ([][]graph
 				// say). Sleeping it out here would wedge the walk — surface
 				// the StatusError, RetryAfter included, and let the caller
 				// decide (budget the crawl, WithRateLimit, resume later).
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
-	return nil, fmt.Errorf("httpsrc: %d attempts exhausted: %w", b.opt.MaxAttempts, lastErr)
+	return nil, nil, fmt.Errorf("httpsrc: %d attempts exhausted: %w", b.opt.MaxAttempts, lastErr)
+}
+
+// attemptChunk is one protocol attempt for a chunk: the batch POST when the
+// provider supports it, the GET form (with guilty-id isolation) otherwise.
+// The route probe result is remembered, so exactly one wasted round-trip is
+// spent discovering a GET-only provider.
+func (b *Backend) attemptChunk(ctx context.Context, ids []graph.NodeID) ([][]graph.NodeID, []error, error) {
+	if !b.opt.DisableBatchPost && !b.batchUnsupported.Load() {
+		lists, errs, err := b.doBatchPost(ctx, ids)
+		var se *StatusError
+		if err != nil && errors.As(err, &se) && (se.Code == http.StatusNotFound || se.Code == http.StatusMethodNotAllowed) {
+			// No batch route on this provider: remember and speak GET forever.
+			b.batchUnsupported.Store(true)
+			b.fallbacks.Add(1)
+		} else {
+			return lists, errs, err
+		}
+	}
+	return b.getChunkPartial(ctx, ids)
+}
+
+// getChunkPartial resolves a chunk over the legacy GET protocol, isolating
+// per-id 404s: when the provider names the guilty id, it is struck and the
+// rest re-requested; when it does not, the chunk degrades to single-id GETs.
+func (b *Backend) getChunkPartial(ctx context.Context, ids []graph.NodeID) ([][]graph.NodeID, []error, error) {
+	lists := make([][]graph.NodeID, len(ids))
+	var errs []error
+	remaining := slices.Clone(ids)
+	idx := make([]int, len(ids)) // idx[j] = original position of remaining[j]
+	for i := range idx {
+		idx[i] = i
+	}
+	for len(remaining) > 0 {
+		got, err := b.doNeighbors(ctx, remaining)
+		if err == nil {
+			for j, l := range got {
+				lists[idx[j]] = l
+			}
+			return lists, errs, nil
+		}
+		var nse *noSuchUserError
+		if !errors.As(err, &nse) {
+			return nil, nil, err
+		}
+		if errs == nil {
+			errs = make([]error, len(ids))
+		}
+		if nse.hasID {
+			j := slices.Index(remaining, nse.id)
+			if j < 0 {
+				return nil, nil, &ProtocolError{msg: fmt.Sprintf("404 blames id %d, which was not requested", nse.id)}
+			}
+			errs[idx[j]] = err
+			remaining = slices.Delete(remaining, j, j+1)
+			idx = slices.Delete(idx, j, j+1)
+			continue
+		}
+		if len(remaining) == 1 {
+			errs[idx[0]] = err
+			return lists, errs, nil
+		}
+		// The provider did not name the guilty id: isolate one by one.
+		for j, v := range remaining {
+			got, err := b.doNeighbors(ctx, []graph.NodeID{v})
+			switch {
+			case err == nil:
+				lists[idx[j]] = got[0]
+			case errors.Is(err, osn.ErrNoSuchUser):
+				errs[idx[j]] = err
+			default:
+				return nil, nil, err
+			}
+		}
+		return lists, errs, nil
+	}
+	return lists, errs, nil
 }
 
 // temporary reports whether err is worth a retry.
@@ -284,15 +534,68 @@ type errorResponse struct {
 	ID    graph.NodeID `json:"id"`
 }
 
-// doNeighbors performs one /neighbors attempt under the per-attempt deadline.
-func (b *Backend) doNeighbors(ctx context.Context, ids []graph.NodeID) ([][]graph.NodeID, error) {
+// batchResult is one id's answer in a /neighbors/batch response: a neighbor
+// list, or — when Error is non-empty — a per-id failure that leaves the
+// other results valid.
+type batchResult struct {
+	ID        graph.NodeID   `json:"id"`
+	Neighbors []graph.NodeID `json:"neighbors"`
+	Error     string         `json:"error,omitempty"`
+}
+
+// batchResponse is the wire shape of a /neighbors/batch answer.
+type batchResponse struct {
+	Results []batchResult `json:"results"`
+}
+
+// noSuchUserError is the driver's typed "no such user" answer. It matches
+// osn.ErrNoSuchUser via errors.Is; hasID says whether the provider named the
+// guilty id (getChunkPartial needs it to strike exactly that id — 0 is a
+// valid id, so presence must be explicit).
+type noSuchUserError struct {
+	id    graph.NodeID
+	hasID bool
+	ref   string
+}
+
+func (e *noSuchUserError) Error() string {
+	if e.hasID {
+		return fmt.Sprintf("%v: id %d", osn.ErrNoSuchUser, e.id)
+	}
+	return fmt.Sprintf("%v: %s", osn.ErrNoSuchUser, e.ref)
+}
+
+func (e *noSuchUserError) Unwrap() error { return osn.ErrNoSuchUser }
+
+// idsKey renders ids as the comma-joined decimal form used both in GET query
+// strings and as the revalidation-cache key.
+func idsKey(ids []graph.NodeID) string {
 	strs := make([]string, len(ids))
 	for i, v := range ids {
 		strs[i] = strconv.FormatInt(int64(v), 10)
 	}
-	body, err := b.get(ctx, b.endpoint("neighbors", url.Values{"ids": {strings.Join(strs, ",")}}), true)
+	return strings.Join(strs, ",")
+}
+
+// doNeighbors performs one /neighbors attempt under the per-attempt deadline,
+// revalidating with If-None-Match when the answer is cached.
+func (b *Backend) doNeighbors(ctx context.Context, ids []graph.NodeID) ([][]graph.NodeID, error) {
+	joined := idsKey(ids)
+	key := "G:" + joined
+	entry := b.cacheLookup(key)
+	var ifNoneMatch string
+	if entry != nil {
+		ifNoneMatch = entry.etag
+	}
+	body, etag, notModified, err := b.do(ctx, http.MethodGet,
+		b.endpoint("neighbors", url.Values{"ids": {joined}}), nil, ifNoneMatch, true)
+	b.gets.Add(1)
 	if err != nil {
 		return nil, err
+	}
+	if notModified {
+		b.revalidated.Add(1)
+		return cloneLists(entry.lists), nil
 	}
 	var nr neighborsResponse
 	if err := json.Unmarshal(body, &nr); err != nil {
@@ -308,7 +611,109 @@ func (b *Backend) doNeighbors(ctx context.Context, ids []graph.NodeID) ([][]grap
 		}
 		out[i] = res.Neighbors
 	}
+	if etag != "" {
+		b.cacheStore(key, etag, out)
+	}
 	return out, nil
+}
+
+// doBatchPost performs one POST /neighbors/batch attempt: per-id partial
+// results, ETag revalidation. A 404/405 StatusError means the provider has
+// no batch route (attemptChunk handles the fallback).
+func (b *Backend) doBatchPost(ctx context.Context, ids []graph.NodeID) ([][]graph.NodeID, []error, error) {
+	payload, err := json.Marshal(struct {
+		IDs []graph.NodeID `json:"ids"`
+	}{IDs: ids})
+	if err != nil {
+		return nil, nil, err
+	}
+	key := "P:" + idsKey(ids)
+	entry := b.cacheLookup(key)
+	var ifNoneMatch string
+	if entry != nil {
+		ifNoneMatch = entry.etag
+	}
+	body, etag, notModified, err := b.do(ctx, http.MethodPost, b.endpoint("neighbors/batch", nil), payload, ifNoneMatch, false)
+	b.batchPosts.Add(1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if notModified {
+		b.revalidated.Add(1)
+		return cloneLists(entry.lists), nil, nil
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		return nil, nil, &ProtocolError{msg: fmt.Sprintf("malformed batch JSON: %v", err)}
+	}
+	if len(br.Results) != len(ids) {
+		return nil, nil, &ProtocolError{msg: fmt.Sprintf("asked for %d ids, got %d results", len(ids), len(br.Results))}
+	}
+	lists := make([][]graph.NodeID, len(ids))
+	var errs []error
+	for i, res := range br.Results {
+		if res.ID != ids[i] {
+			return nil, nil, &ProtocolError{msg: fmt.Sprintf("result %d answers id %d, want %d", i, res.ID, ids[i])}
+		}
+		switch res.Error {
+		case "":
+			lists[i] = res.Neighbors
+		case "no such user":
+			if errs == nil {
+				errs = make([]error, len(ids))
+			}
+			errs[i] = &noSuchUserError{id: res.ID, hasID: true}
+		default:
+			return nil, nil, &ProtocolError{msg: fmt.Sprintf("result %d carries unknown error %q", i, res.Error)}
+		}
+	}
+	if errs == nil && etag != "" {
+		b.cacheStore(key, etag, lists)
+	}
+	return lists, errs, nil
+}
+
+// cloneLists deep-copies a result set — cache entries are immutable, and
+// returned slices pass ownership to the caller.
+func cloneLists(lists [][]graph.NodeID) [][]graph.NodeID {
+	out := make([][]graph.NodeID, len(lists))
+	for i, l := range lists {
+		out[i] = slices.Clone(l)
+	}
+	return out
+}
+
+// cacheLookup returns the revalidation-cache entry for key, nil when absent
+// or when the cache is disabled.
+func (b *Backend) cacheLookup(key string) *valEntry {
+	if b.opt.ValidationCache < 0 {
+		return nil
+	}
+	b.vmu.Lock()
+	defer b.vmu.Unlock()
+	return b.vcache[key]
+}
+
+// cacheStore remembers (key → etag, lists), evicting FIFO past the bound.
+// Only fully successful answers are stored — per-id errors have no cacheable
+// representation.
+func (b *Backend) cacheStore(key, etag string, lists [][]graph.NodeID) {
+	if b.opt.ValidationCache < 0 {
+		return
+	}
+	b.vmu.Lock()
+	defer b.vmu.Unlock()
+	if b.vcache == nil {
+		b.vcache = make(map[string]*valEntry)
+	}
+	if _, ok := b.vcache[key]; !ok {
+		b.vorder = append(b.vorder, key)
+		for len(b.vorder) > b.opt.ValidationCache {
+			delete(b.vcache, b.vorder[0])
+			b.vorder = b.vorder[1:]
+		}
+	}
+	b.vcache[key] = &valEntry{etag: etag, lists: cloneLists(lists)}
 }
 
 // Meta fetches the provider-published user count (with the same retry
@@ -386,21 +791,41 @@ func (b *Backend) Close() error {
 	return nil
 }
 
-// get performs one GET under the per-attempt deadline and maps the status
-// code onto the error taxonomy. A 2xx returns the (bounded) body. Only the
-// /neighbors endpoint defines 404 as "no such user" (idLookup); anywhere
-// else — a mistyped base URL 404ing on /meta, say — a 404 stays a plain
-// StatusError so configuration mistakes are not disguised as missing users.
+// get performs one GET under the per-attempt deadline and returns the
+// (bounded) body — the simple form of do for endpoints without conditional
+// requests (/meta).
 func (b *Backend) get(ctx context.Context, rawURL string, idLookup bool) ([]byte, error) {
+	body, _, _, err := b.do(ctx, http.MethodGet, rawURL, nil, "", idLookup)
+	return body, err
+}
+
+// do performs one request under the per-attempt deadline and maps the status
+// code onto the error taxonomy. A 200 returns the (bounded) body and the
+// response's ETag; a 304 against the sent If-None-Match returns
+// notModified. Only the neighbor endpoints define 404 as "no such user"
+// (idLookup); anywhere else — a mistyped base URL 404ing on /meta, say — a
+// 404 stays a plain StatusError so configuration mistakes are not disguised
+// as missing users.
+func (b *Backend) do(ctx context.Context, method, rawURL string, payload []byte, ifNoneMatch string, idLookup bool) (body []byte, etag string, notModified bool, err error) {
 	actx, cancel := context.WithTimeout(ctx, b.opt.RequestTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(actx, http.MethodGet, rawURL, nil)
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(actx, method, rawURL, rd)
 	if err != nil {
-		return nil, err
+		return nil, "", false, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
 	}
 	resp, err := b.opt.Client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, "", false, err
 	}
 	defer func() {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, maxResponseBytes))
@@ -409,16 +834,19 @@ func (b *Backend) get(ctx context.Context, rawURL string, idLookup bool) ([]byte
 	b.noteRateHeaders(resp.Header)
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		return io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+		body, err = io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+		return body, resp.Header.Get("ETag"), false, err
+	case resp.StatusCode == http.StatusNotModified && ifNoneMatch != "":
+		return nil, "", true, nil
 	case resp.StatusCode == http.StatusNotFound && idLookup:
 		var er errorResponse
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
 		if json.Unmarshal(body, &er) == nil && er.Error != "" {
-			return nil, fmt.Errorf("%w: id %d", osn.ErrNoSuchUser, er.ID)
+			return nil, "", false, &noSuchUserError{id: er.ID, hasID: true}
 		}
-		return nil, fmt.Errorf("%w: %s", osn.ErrNoSuchUser, rawURL)
+		return nil, "", false, &noSuchUserError{ref: rawURL}
 	default:
-		return nil, &StatusError{Code: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
+		return nil, "", false, &StatusError{Code: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 	}
 }
 

@@ -371,3 +371,225 @@ func TestConcurrentWalkersOverHTTP(t *testing.T) {
 		t.Fatalf("billed %d unique queries over a %d-user graph", client.UniqueQueries(), g.NumNodes())
 	}
 }
+
+// TestFetchPartialIsolatesUnknownID: over the batch POST protocol, one bad
+// id is a per-id error entry; co-batched ids still resolve.
+func TestFetchPartialIsolatesUnknownID(t *testing.T) {
+	g := testGraph()
+	srv := httptest.NewServer(Handler(g, ServerOptions{}))
+	defer srv.Close()
+	b, err := New(fastOptions(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	lists, errs, err := b.FetchPartial(context.Background(), []graph.NodeID{0, 42, 5})
+	if err != nil {
+		t.Fatalf("FetchPartial: %v", err)
+	}
+	if errs == nil || !errors.Is(errs[1], osn.ErrNoSuchUser) {
+		t.Fatalf("errs[1] = %v, want ErrNoSuchUser", errs)
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("good ids got errors: %v", errs)
+	}
+	for _, i := range []int{0, 2} {
+		want := g.Neighbors([]graph.NodeID{0, 42, 5}[i])
+		if len(lists[i]) != len(want) {
+			t.Fatalf("lists[%d] has %d neighbors, want %d", i, len(lists[i]), len(want))
+		}
+	}
+	if st := b.Stats(); st.BatchPosts == 0 || st.Gets != 0 {
+		t.Fatalf("stats = %+v, want the batch POST protocol in use", st)
+	}
+}
+
+// TestFetchPartialGETFallback: a provider without the batch route (404 on
+// POST) degrades to GETs — once — and still isolates the guilty id via the
+// 404 body's id field.
+func TestFetchPartialGETFallback(t *testing.T) {
+	g := testGraph()
+	srv := httptest.NewServer(Handler(g, ServerOptions{DisableBatch: true}))
+	defer srv.Close()
+	b, err := New(fastOptions(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	lists, errs, err := b.FetchPartial(context.Background(), []graph.NodeID{0, 42, 5})
+	if err != nil {
+		t.Fatalf("FetchPartial: %v", err)
+	}
+	if errs == nil || !errors.Is(errs[1], osn.ErrNoSuchUser) {
+		t.Fatalf("errs[1] = %v, want ErrNoSuchUser", errs)
+	}
+	if lists[0] == nil || lists[2] == nil {
+		t.Fatal("good ids unresolved after guilty-id isolation")
+	}
+	st := b.Stats()
+	if st.BatchFallbacks != 1 {
+		t.Fatalf("stats = %+v, want exactly one fallback probe", st)
+	}
+	// The probe result is remembered: further fetches go straight to GET.
+	if _, _, err := b.FetchPartial(context.Background(), []graph.NodeID{1}); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := b.Stats(); st2.BatchPosts != st.BatchPosts {
+		t.Fatalf("batch POST retried after a remembered fallback: %+v -> %+v", st, st2)
+	}
+}
+
+// TestWholeBatch404NoLongerPoisons: the satellite fix on the GET path — the
+// strict Fetch still fails the batch on an unknown id, but FetchPartial over
+// the same GET-only provider answers every other id.
+func TestWholeBatch404NoLongerPoisons(t *testing.T) {
+	g := testGraph()
+	srv := httptest.NewServer(Handler(g, ServerOptions{DisableBatch: true}))
+	defer srv.Close()
+	b, err := New(fastOptions(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.Fetch(context.Background(), []graph.NodeID{3, 42}); !errors.Is(err, osn.ErrNoSuchUser) {
+		t.Fatalf("strict Fetch err = %v, want ErrNoSuchUser", err)
+	}
+	lists, errs, err := b.FetchPartial(context.Background(), []graph.NodeID{3, 42})
+	if err != nil || !errors.Is(errs[1], osn.ErrNoSuchUser) || lists[0] == nil {
+		t.Fatalf("partial GET = (%v, %v, %v), want id 3 answered and id 42 isolated", lists, errs, err)
+	}
+}
+
+// TestETagRevalidation: a repeated request revalidates with If-None-Match
+// and serves the cached answer on 304 — on both the POST and GET protocols.
+func TestETagRevalidation(t *testing.T) {
+	for _, mode := range []struct {
+		name         string
+		disableBatch bool
+	}{{"post", false}, {"get", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			g := testGraph()
+			srv := httptest.NewServer(Handler(g, ServerOptions{DisableBatch: mode.disableBatch}))
+			defer srv.Close()
+			b, err := New(fastOptions(srv.URL))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+
+			first := mustFetch(t, b, 2, 4)
+			again := mustFetch(t, b, 2, 4)
+			for i := range first {
+				if len(first[i]) != len(again[i]) {
+					t.Fatalf("revalidated answer diverged: %v vs %v", first[i], again[i])
+				}
+				for j := range first[i] {
+					if first[i][j] != again[i][j] {
+						t.Fatalf("revalidated answer diverged: %v vs %v", first[i], again[i])
+					}
+				}
+			}
+			if st := b.Stats(); st.Revalidated != 1 {
+				t.Fatalf("stats = %+v, want exactly one 304 revalidation", st)
+			}
+			// Cached lists must not alias what earlier callers own.
+			for i := range again[0] {
+				again[0][i] = -99
+			}
+			third := mustFetch(t, b, 2, 4)
+			for j, v := range third[0] {
+				if v != first[0][j] {
+					t.Fatal("caller mutation leaked into the revalidation cache")
+				}
+			}
+		})
+	}
+}
+
+// TestChunkParallelism: an oversized fetch dispatches chunks concurrently,
+// bounded by ChunkParallel, and reassembles results in input order.
+func TestChunkParallelism(t *testing.T) {
+	g := testGraph()
+	var inflight, maxInflight atomic.Int64
+	inner := Handler(g, ServerOptions{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur := inflight.Add(1)
+		for {
+			old := maxInflight.Load()
+			if cur <= old || maxInflight.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inflight.Add(-1)
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	o := fastOptions(srv.URL)
+	o.BatchSize = 2
+	o.ChunkParallel = 3
+	b, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	ids := make([]graph.NodeID, 20)
+	for i := range ids {
+		ids[i] = graph.NodeID(i % 10)
+	}
+	lists, err := b.Fetch(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ids {
+		want := g.Neighbors(v)
+		if len(lists[i]) != len(want) {
+			t.Fatalf("lists[%d] (id %d): %d neighbors, want %d", i, v, len(lists[i]), len(want))
+		}
+		for j := range want {
+			if lists[i][j] != want[j] {
+				t.Fatalf("lists[%d] (id %d) out of order", i, v)
+			}
+		}
+	}
+	if m := maxInflight.Load(); m < 2 {
+		t.Fatalf("max in-flight chunks = %d, want concurrent dispatch", m)
+	}
+	if m := maxInflight.Load(); m > 3 {
+		t.Fatalf("max in-flight chunks = %d, cap is 3", m)
+	}
+}
+
+// TestSerializedServerAdmitsOneAtATime: the bench discriminator — under
+// Serialize, wall-clock grows with the request count whatever the client
+// parallelism.
+func TestSerializedServerAdmitsOneAtATime(t *testing.T) {
+	g := testGraph()
+	srv := httptest.NewServer(Handler(g, ServerOptions{Serialize: true, Latency: 5 * time.Millisecond}))
+	defer srv.Close()
+	b, err := New(fastOptions(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const reqs = 4
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(v graph.NodeID) {
+			defer wg.Done()
+			if _, err := b.Fetch(context.Background(), []graph.NodeID{v}); err != nil {
+				t.Error(err)
+			}
+		}(graph.NodeID(i))
+	}
+	wg.Wait()
+	if el := time.Since(start); el < reqs*5*time.Millisecond {
+		t.Fatalf("4 parallel requests finished in %v — serialization not enforced", el)
+	}
+}

@@ -3,6 +3,8 @@ package httpsrc
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -25,12 +27,26 @@ type ServerOptions struct {
 	Latency time.Duration
 	// MaxIDsPerRequest rejects oversized batches with 400 (0 = unlimited).
 	MaxIDsPerRequest int
+	// DisableBatch withholds the POST /neighbors/batch route, modeling a
+	// provider that only speaks the legacy GET form (the driver's fallback
+	// path is tested against this).
+	DisableBatch bool
+	// Serialize admits one neighbor request at a time: each request occupies
+	// the server for its full Latency before the next begins, modeling a
+	// provider whose cost is per round-trip. Under it, wall-clock is
+	// (requests × Latency) whatever the client's parallelism — the property
+	// the batching benchmark measures.
+	Serialize bool
 }
 
 // server serves the neighbor-list protocol over an in-memory graph.
 type server struct {
 	g   *graph.Graph
 	opt ServerOptions
+
+	// serial, when non-nil, is a one-token admission channel (a channel
+	// rather than a mutex so no lock is ever held across the latency sleep).
+	serial chan struct{}
 
 	mu          sync.Mutex
 	windowStart time.Time
@@ -43,8 +59,14 @@ type server struct {
 // real socket.
 func Handler(g *graph.Graph, opt ServerOptions) http.Handler {
 	s := &server{g: g, opt: opt}
+	if opt.Serialize {
+		s.serial = make(chan struct{}, 1)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /neighbors", s.neighbors)
+	if !opt.DisableBatch {
+		mux.HandleFunc("POST /neighbors/batch", s.batch)
+	}
 	mux.HandleFunc("GET /meta", s.meta)
 	return mux
 }
@@ -87,6 +109,50 @@ func (s *server) rateHeaders(w http.ResponseWriter, now time.Time) {
 	}
 }
 
+// occupy models the request's service time: take the serialization token
+// (when configured), then sleep out the latency while holding it. The
+// returned release func is nil when the client gave up while queued.
+func (s *server) occupy(r *http.Request) func() {
+	release := func() {}
+	if s.serial != nil {
+		select {
+		case s.serial <- struct{}{}:
+			release = func() { <-s.serial }
+		case <-r.Context().Done():
+			return nil
+		}
+	}
+	if s.opt.Latency > 0 {
+		select {
+		case <-time.After(s.opt.Latency):
+		case <-r.Context().Done():
+			release()
+			return nil
+		}
+	}
+	return release
+}
+
+// writeJSON marshals v, stamps a strong ETag over the exact bytes, and
+// answers 304 when the request's If-None-Match already names them.
+func writeJSON(w http.ResponseWriter, r *http.Request, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	h := fnv.New64a()
+	h.Write(body)
+	etag := fmt.Sprintf("%q", strconv.FormatUint(h.Sum64(), 16))
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Content-Type", "application/json")
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Write(append(body, '\n'))
+}
+
 func (s *server) neighbors(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	if wait, ok := s.admit(now); !ok {
@@ -98,13 +164,11 @@ func (s *server) neighbors(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.rateHeaders(w, now)
-	if s.opt.Latency > 0 {
-		select {
-		case <-time.After(s.opt.Latency):
-		case <-r.Context().Done():
-			return
-		}
+	release := s.occupy(r)
+	if release == nil {
+		return
 	}
+	defer release()
 	raw := r.URL.Query().Get("ids")
 	if raw == "" {
 		http.Error(w, `{"error":"missing ids"}`, http.StatusBadRequest)
@@ -128,17 +192,67 @@ func (s *server) neighbors(w http.ResponseWriter, r *http.Request) {
 			json.NewEncoder(w).Encode(errorResponse{Error: "no such user", ID: v})
 			return
 		}
-		nbrs := s.g.Neighbors(v)
-		if nbrs == nil {
-			nbrs = []graph.NodeID{}
-		}
 		nr.Results = append(nr.Results, struct {
 			ID        graph.NodeID   `json:"id"`
 			Neighbors []graph.NodeID `json:"neighbors"`
-		}{ID: v, Neighbors: nbrs})
+		}{ID: v, Neighbors: s.neighborsOf(v)})
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(nr)
+	writeJSON(w, r, nr)
+}
+
+// batch serves POST /neighbors/batch: per-id results, unknown ids as error
+// entries in a 200 answer — the partial-result contract that keeps one bad
+// id from failing the walkers coalesced alongside it.
+func (s *server) batch(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	if wait, ok := s.admit(now); !ok {
+		s.rateHeaders(w, now)
+		secs := int(wait/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintf(w, `{"error":"rate limited"}`)
+		return
+	}
+	s.rateHeaders(w, now)
+	release := s.occupy(r)
+	if release == nil {
+		return
+	}
+	defer release()
+	var req struct {
+		IDs []graph.NodeID `json:"ids"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxResponseBytes)).Decode(&req); err != nil {
+		http.Error(w, `{"error":"malformed batch body"}`, http.StatusBadRequest)
+		return
+	}
+	if len(req.IDs) == 0 {
+		http.Error(w, `{"error":"missing ids"}`, http.StatusBadRequest)
+		return
+	}
+	if s.opt.MaxIDsPerRequest > 0 && len(req.IDs) > s.opt.MaxIDsPerRequest {
+		http.Error(w, `{"error":"too many ids"}`, http.StatusBadRequest)
+		return
+	}
+	br := batchResponse{Results: make([]batchResult, len(req.IDs))}
+	for i, v := range req.IDs {
+		if v < 0 || int(v) >= s.g.NumNodes() {
+			br.Results[i] = batchResult{ID: v, Neighbors: []graph.NodeID{}, Error: "no such user"}
+			continue
+		}
+		br.Results[i] = batchResult{ID: v, Neighbors: s.neighborsOf(v)}
+	}
+	writeJSON(w, r, br)
+}
+
+// neighborsOf returns v's neighbor list, never nil (the wire shape encodes
+// an isolated user as an empty array).
+func (s *server) neighborsOf(v graph.NodeID) []graph.NodeID {
+	nbrs := s.g.Neighbors(v)
+	if nbrs == nil {
+		nbrs = []graph.NodeID{}
+	}
+	return nbrs
 }
 
 func (s *server) meta(w http.ResponseWriter, r *http.Request) {

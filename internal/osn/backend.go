@@ -17,8 +17,12 @@ import (
 //
 //   - Fetch returns exactly one Response per requested id, in input order, or
 //     a non-nil error for the batch as a whole. Partial results are not
-//     returned: a failed batch is all-failed (the client issues single-id
-//     fetches on its demand path, so per-id granularity is preserved there).
+//     returned: a failed batch is all-failed. The client issues single-id
+//     fetches on its demand path, so per-id granularity is preserved there —
+//     and the SDK's coalescing middleware (rewire.WithBatching), which merges
+//     those single-id fetches back into multi-id round-trips, keeps it by
+//     probing for a per-id PartialFetcher capability and isolating unknown
+//     ids when the backend lacks one.
 //   - An id outside the backend's user space fails with an error matching
 //     ErrNoSuchUser (errors.Is).
 //   - Fetch honors ctx: cancellation or deadline expiry aborts the in-flight

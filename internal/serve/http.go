@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"rewire"
+	"rewire/internal/httpsrc"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -303,8 +304,9 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 }
 
 // BackendInfo is one opened backend's public view: its URL, its global
-// ledger, and its transport-level metrics (fetches that actually went over
-// the wire, after cache and coalescing).
+// ledger, its transport-level metrics (fetches that actually went over the
+// wire, after cache and coalescing), and — when the stack has the matching
+// capability — its coalescing and HTTP revalidation counters.
 type BackendInfo struct {
 	URL           string `json:"url"`
 	UniqueQueries int64  `json:"unique_queries"`
@@ -312,6 +314,16 @@ type BackendInfo struct {
 	Fetches       int64  `json:"fetches"`
 	FetchedIDs    int64  `json:"fetched_ids"`
 	Failures      int64  `json:"failures"`
+	// BatchSizeBuckets is the dispatched-batch size histogram (buckets 1, 2,
+	// ≤4, ≤8, ≤16, ≤32, ≤64, >64), absent when nothing was fetched.
+	BatchSizeBuckets []int64 `json:"batch_size_buckets,omitempty"`
+	// BatchesDispatched / CoalescedIDs report the coalescing middleware's
+	// work (present only when the server runs with -batchwait).
+	BatchesDispatched *int64 `json:"batches_dispatched,omitempty"`
+	CoalescedIDs      *int64 `json:"coalesced_ids,omitempty"`
+	// Revalidated counts HTTP 304 answers served from the driver's ETag
+	// validation cache (present only for HTTP backends).
+	Revalidated *int64 `json:"revalidated,omitempty"`
 }
 
 func (s *Server) handleBackends(w http.ResponseWriter, _ *http.Request) {
@@ -324,14 +336,30 @@ func (s *Server) handleBackends(w http.ResponseWriter, _ *http.Request) {
 	out := make([]BackendInfo, 0, len(backends))
 	for _, sb := range backends {
 		snap := sb.metrics.Snapshot()
-		out = append(out, BackendInfo{
+		info := BackendInfo{
 			URL:           sb.url,
 			UniqueQueries: sb.provider.UniqueQueries(),
 			CacheSize:     sb.provider.CacheSize(),
 			Fetches:       snap.Fetches,
 			FetchedIDs:    snap.IDs,
 			Failures:      snap.Failures,
-		})
+		}
+		for _, n := range snap.BatchSizeBuckets {
+			if n > 0 {
+				info.BatchSizeBuckets = snap.BatchSizeBuckets[:]
+				break
+			}
+		}
+		if bs, ok := rewire.BackendAs[rewire.BatchStatser](sb.backend); ok {
+			st := bs.BatchStats()
+			info.BatchesDispatched = &st.Batches
+			info.CoalescedIDs = &st.IDs
+		}
+		if hs, ok := rewire.BackendAs[interface{ Stats() httpsrc.Stats }](sb.backend); ok {
+			st := hs.Stats()
+			info.Revalidated = &st.Revalidated
+		}
+		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, map[string][]BackendInfo{"backends": out})
 }

@@ -16,6 +16,7 @@ import (
 
 	"rewire"
 	"rewire/internal/estimate"
+	"rewire/internal/httpsrc"
 )
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
@@ -788,5 +789,75 @@ func TestDurableCacheWarmRestart(t *testing.T) {
 	}
 	if got := sb2.provider.UniqueQueries(); got != bill {
 		t.Fatalf("warm rerun billed %d new queries", got-bill)
+	}
+}
+
+// TestBatchingBackendStats runs jobs through a daemon configured with demand
+// coalescing over a real HTTP provider and checks the /v1/backends view
+// reports the middleware's work: batches dispatched, the ids/batch
+// histogram, and the driver's revalidation counter.
+func TestBatchingBackendStats(t *testing.T) {
+	g, err := rewire.SocialGraph(200, 800, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider := httptest.NewServer(httpsrc.Handler(g, httpsrc.ServerOptions{}))
+	defer provider.Close()
+	url := provider.URL + "?timeout=5s&backoff=1ms&max_backoff=10ms"
+
+	_, ts := newTestServer(t, Options{BatchWait: time.Millisecond, BatchMax: 16})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := submitJob(t, ts.URL, JobSpec{
+				Backend: url,
+				Tenant:  fmt.Sprintf("tenant-%d", i),
+				Samples: 150,
+				Seed:    uint64(40 + i),
+			})
+			if _, ev := readStream(t, ts.URL, id, 0, nil); ev.State != StateDone {
+				t.Errorf("job %s ended %q: %s", id, ev.State, ev.Error)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	code, data := request(t, http.MethodGet, ts.URL+"/v1/backends", "")
+	if code != http.StatusOK {
+		t.Fatalf("backends: %d: %s", code, data)
+	}
+	var bl struct {
+		Backends []BackendInfo `json:"backends"`
+	}
+	if err := json.Unmarshal(data, &bl); err != nil {
+		t.Fatal(err)
+	}
+	if len(bl.Backends) != 1 {
+		t.Fatalf("got %d backends, want 1", len(bl.Backends))
+	}
+	info := bl.Backends[0]
+	if info.BatchesDispatched == nil || *info.BatchesDispatched == 0 {
+		t.Fatalf("no batch stats in %+v — coalescing middleware not probed", info)
+	}
+	if info.CoalescedIDs == nil || *info.CoalescedIDs < *info.BatchesDispatched {
+		t.Fatalf("coalesced ids %v < batches %d", info.CoalescedIDs, *info.BatchesDispatched)
+	}
+	var hist int64
+	for _, n := range info.BatchSizeBuckets {
+		hist += n
+	}
+	if hist != info.Fetches {
+		t.Fatalf("histogram total %d != fetches %d", hist, info.Fetches)
+	}
+	if info.Revalidated == nil {
+		t.Fatal("HTTP backend published no revalidation counter")
+	}
+	// The walkers' single-id demand was merged: dispatched round-trips must
+	// number strictly fewer than the ids they carried for coalescing to have
+	// done anything at all.
+	if *info.CoalescedIDs <= *info.BatchesDispatched {
+		t.Logf("note: no multi-id batches formed (ids=%d batches=%d)", *info.CoalescedIDs, *info.BatchesDispatched)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"slices"
 	"sync"
+	"time"
 
 	"rewire"
 	"rewire/internal/estimate"
@@ -56,15 +57,29 @@ type Options struct {
 	// checkpointed jobs continue their trajectories without re-paying for
 	// topology any tenant already demanded.
 	CacheDir string
+	// BatchWait, when positive, wraps every opened backend with the SDK's
+	// demand-coalescing middleware (rewire.WithBatching): misses from all
+	// tenants' walkers that land within this window ride one provider
+	// round-trip. Coalescing sits OUTERMOST in the stack — above metrics and
+	// the rate limit — so walker demand is merged before it is metered or
+	// throttled, and each dispatched batch spends one rate-limit token.
+	BatchWait time.Duration
+	// BatchMax caps the ids per coalesced batch (0 = the SDK default).
+	// Meaningful only with BatchWait.
+	BatchMax int
 }
 
 // sharedBackend is the one-per-URL provider stack every job on that URL
-// shares: metrics middleware, optional rate-limit middleware, then the
-// Provider (cache + singleflight + global and per-tenant ledgers).
+// shares: metrics middleware, optional rate-limit middleware, optional
+// demand-coalescing middleware outermost, then the Provider (cache +
+// singleflight + global and per-tenant ledgers).
 type sharedBackend struct {
 	url      string
 	provider *rewire.Provider
 	metrics  *rewire.BackendMetrics
+	// backend is the outermost middleware — the stack's capability probe
+	// root for batch and transport stats (rewire.BackendAs walks it).
+	backend rewire.Backend
 }
 
 // job is one submitted sampling job. samples is append-only — a delivered
@@ -184,7 +199,13 @@ func (s *Server) backend(ctx context.Context, url string) (*sharedBackend, error
 	if s.opts.RateLimitRPS > 0 {
 		wrapped = rewire.WithRateLimit(wrapped, s.opts.RateLimitRPS, s.opts.RateLimitBurst)
 	}
-	fresh := &sharedBackend{url: url, provider: rewire.BackendSource(wrapped), metrics: metrics}
+	if s.opts.BatchWait > 0 {
+		wrapped = rewire.WithBatching(wrapped, rewire.BatchingOptions{
+			MaxBatch: s.opts.BatchMax,
+			MaxWait:  s.opts.BatchWait,
+		})
+	}
+	fresh := &sharedBackend{url: url, provider: rewire.BackendSource(wrapped), metrics: metrics, backend: wrapped}
 	s.mu.Lock()
 	if won := s.backends[url]; won != nil {
 		s.mu.Unlock()
